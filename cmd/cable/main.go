@@ -1,0 +1,81 @@
+// Command cable is the interactive specification-debugging tool: a
+// terminal rendition of the paper's Dotty-based Cable. It loads a set of
+// traces (and optionally a reference FA), builds the concept lattice, and
+// lets the user explore concepts, view summaries, label traces en masse,
+// start Focus sub-sessions, and save/restore labelings.
+//
+// Usage:
+//
+//	cable -traces scenarios.txt [-fa spec.fa]
+//	cable -workspace session.cws
+//
+// A workspace file (written by the "workspace" command) bundles traces,
+// reference FA, and labels, so a labeling session can be resumed. Type
+// "help" at the prompt for the command list; see internal/repl for the
+// full interface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cable"
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/repl"
+	"repro/internal/trace"
+	"repro/internal/workspace"
+)
+
+func main() {
+	var (
+		tracesPath = flag.String("traces", "", "trace file")
+		faPath     = flag.String("fa", "", "reference FA file (default: learn one)")
+		wsPath     = flag.String("workspace", "", "resume from a workspace file")
+	)
+	flag.Parse()
+	if *wsPath != "" {
+		wf, err := os.Open(*wsPath)
+		die(err)
+		session, err := workspace.Load(wf)
+		die(wf.Close())
+		die(err)
+		fmt.Printf("resumed workspace %s\n", *wsPath)
+		repl.New(session, os.Stdout).Run(os.Stdin)
+		return
+	}
+	if *tracesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracesPath)
+	die(err)
+	set, err := trace.Read(f)
+	die(f.Close())
+	die(err)
+	if set.Total() == 0 {
+		die(fmt.Errorf("no traces in %s", *tracesPath))
+	}
+	var ref *fa.FA
+	if *faPath != "" {
+		ff, err := os.Open(*faPath)
+		die(err)
+		ref, err = fa.Read(ff)
+		die(ff.Close())
+		die(err)
+	} else {
+		ref = core.ReferenceFA(set)
+		fmt.Printf("learned reference FA: %d states, %d transitions\n", ref.NumStates(), ref.NumTransitions())
+	}
+	session, err := cable.NewSession(set, ref)
+	die(err)
+	repl.New(session, os.Stdout).Run(os.Stdin)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cable:", err)
+		os.Exit(1)
+	}
+}

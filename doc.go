@@ -1,0 +1,16 @@
+// Package repro reproduces "Debugging temporal specifications with concept
+// analysis" (Ammons, Bodík, Larus, Mandelin; PLDI 2003) as a Go library.
+//
+// The public surface lives in internal/core (the two debugging workflows),
+// internal/cable (labeling sessions), internal/concept (formal concept
+// analysis), internal/fa (event automata), internal/learn (the sk-strings
+// learner), internal/mine (the Strauss miner), internal/verify (the trace
+// checker), internal/strategy and internal/wellformed (the Section 4
+// analyses), internal/specs and internal/xtrace (the evaluation corpus and
+// workloads), and internal/exp (the table/figure harness driven by
+// cmd/paper).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate the measurements behind every table and figure.
+package repro

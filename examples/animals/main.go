@@ -1,0 +1,63 @@
+// Animals: the introductory concept-analysis example of Figures 9 and 10
+// (after Michael Siff's thesis) — a context of animals and adjectives, its
+// derivation operators, and its concept lattice.
+//
+// Run with: go run ./examples/animals
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bitset"
+	"repro/internal/concept"
+	"repro/internal/exp"
+)
+
+func main() {
+	ctx := exp.AnimalsContext()
+	fmt.Println("Figure 9: the context")
+	fmt.Println(ctx)
+
+	// The derivation operators σ and τ.
+	dogs := bitset.FromSlice([]int{1, 2}) // dog, gibbon
+	shared := ctx.Sigma(dogs)
+	fmt.Print("σ({dog, gibbon}) = { ")
+	shared.Range(func(a int) bool {
+		fmt.Printf("%s ", ctx.AttributeName(a))
+		return true
+	})
+	fmt.Println("}")
+	intelligent := bitset.FromSlice([]int{2}) // intelligent
+	fmt.Print("τ({intelligent}) = { ")
+	ctx.Tau(intelligent).Range(func(o int) bool {
+		fmt.Printf("%s ", ctx.ObjectName(o))
+		return true
+	})
+	fmt.Println("}")
+	fmt.Printf("similarity of {dog, gibbon}: %d shared attribute(s)\n\n", ctx.Similarity(dogs))
+
+	// Figure 10: the concept lattice, with reduced labels.
+	lattice := concept.Build(ctx)
+	fmt.Printf("Figure 10: the concept lattice (%d concepts)\n", lattice.Len())
+	fmt.Println(lattice)
+
+	// Concepts get smaller but more similar as one moves down (Section 3.1).
+	top, bottom := lattice.Top(), lattice.Bottom()
+	fmt.Printf("top: %d objects share %d attributes; bottom: %d objects share %d attributes\n",
+		lattice.Concept(top).Extent.Len(), lattice.Concept(top).Intent.Len(),
+		lattice.Concept(bottom).Extent.Len(), lattice.Concept(bottom).Intent.Len())
+
+	// Meets and joins exist for every pair: it is a complete lattice.
+	a := lattice.ObjectConcept(0) // γ(cat)
+	b := lattice.ObjectConcept(3) // γ(dolphin)
+	fmt.Printf("meet(γcat, γdolphin) = c%d, join = c%d\n",
+		lattice.Meet(a, b), lattice.Join(a, b))
+
+	// DOT for rendering with Graphviz.
+	fmt.Println("\nDOT (pipe to `dot -Tpng`):")
+	if err := lattice.WriteDot(os.Stdout, "animals"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Minedebug: debugging a mined specification, following Section 2.2.
+//
+// Strauss mines a specification from whole-program runs that contain
+// errors, so the mined FA accepts erroneous scenarios. We cluster the
+// miner's own scenario traces with the mined FA as the reference, label
+// concepts, and rerun the miner's back end on the traces labeled good —
+// using two distinct good labels ("good fopen", "good popen") to stop the
+// learner from generalizing across the two protocols.
+//
+// Run with: go run ./examples/minedebug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cable"
+	"repro/internal/core"
+	"repro/internal/mine"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/xtrace"
+)
+
+func main() {
+	stdio := specs.Stdio()
+
+	// Generate whole-program runs: interleaved protocol instances over
+	// distinct file objects, with noise calls, ~20% erroneous.
+	gen := xtrace.Generator{Model: stdio.Model, Seed: 7}
+	runs, _ := gen.Runs(50, 3)
+	fmt.Printf("workload: %d program runs\n", len(runs))
+
+	// Mine. The front end slices each run into per-object scenario traces;
+	// the back end learns an FA from all of them — including the bad ones.
+	miner := mine.Miner{FrontEnd: mine.FrontEnd{
+		Seeds:         stdio.Model.SeedOps(),
+		FollowDerived: true,
+	}}
+	mined, scenarios, err := miner.Mine("stdio-mined", runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined: %d scenario traces (%d unique) -> FA with %d states, %d transitions\n",
+		scenarios.Total(), scenarios.NumClasses(), mined.NumStates(), mined.NumTransitions())
+	badTrace := trace.ParseEvents("", "X = popen()", "fclose(X)")
+	fmt.Printf("the mined spec accepts the erroneous %q: %v\n\n", badTrace.Key(), mined.Accepts(badTrace))
+
+	// Debug: the mined FA itself is the reference for clustering.
+	session, err := core.DebugMined(mined, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lattice := session.Lattice()
+	fmt.Printf("lattice: %d concepts\n", lattice.Len())
+
+	// Label concepts top-down by their shared transitions, the same
+	// workflow a human follows with "Show transitions". Scenarios pairing
+	// an open with its matching close are good; mismatches and leaks bad.
+	for _, id := range lattice.TopDownOrder() {
+		unl := cable.SelectUnlabeled()
+		if len(session.Select(id, unl)) == 0 {
+			continue
+		}
+		ops := map[string]bool{}
+		for _, tr := range session.ShowTransitions(id, unl) {
+			ops[tr.Label.Op] = true
+		}
+		switch {
+		case ops["fopen"] && ops["fclose"] && !ops["pclose"]:
+			session.LabelTraces(id, unl, cable.Label("good fopen"))
+		case ops["popen"] && ops["pclose"] && !ops["fclose"]:
+			session.LabelTraces(id, unl, cable.Label("good popen"))
+		}
+	}
+	// What remains (open without close, crossed closes) is erroneous.
+	session.LabelTraces(lattice.Top(), cable.SelectUnlabeled(), cable.Bad)
+	fmt.Printf("labels in use: %v\n", session.UsedLabels())
+	for _, l := range session.UsedLabels() {
+		fmt.Printf("  %-12q %3d trace(s)\n", string(l), session.TracesWith(l).Total())
+	}
+
+	// Step 3: rerun the back end per good label and union the results.
+	fixed, err := core.RelearnGood(session, miner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrelearned spec: %d states, %d transitions\n", fixed.NumStates(), fixed.NumTransitions())
+
+	probes := []trace.Trace{
+		trace.ParseEvents("", "X = fopen()", "fclose(X)"),
+		trace.ParseEvents("", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("", "X = popen()", "fclose(X)"),
+		trace.ParseEvents("", "X = fopen()", "pclose(X)"),
+		trace.ParseEvents("", "X = fopen()"),
+	}
+	fmt.Println("verdicts of the relearned specification:")
+	for _, p := range probes {
+		verdict := "rejected"
+		if fixed.Accepts(p) {
+			verdict = "accepted"
+		}
+		fmt.Printf("  %-45s %s\n", p.Key(), verdict)
+	}
+
+	// The split good labels prevented cross-protocol generalization: had we
+	// used a single "good" label, the learner could have re-merged fopen
+	// and popen states and reintroduced the bug (Section 2.2's
+	// overgeneralization discussion).
+	single := relearnWithSingleLabel(session, miner)
+	if single != nil && single.Accepts(badTrace) {
+		fmt.Printf("\n(with a single good label the bug would return: %q accepted=%v)\n",
+			badTrace.Key(), single.Accepts(badTrace))
+	}
+}
+
+// relearnWithSingleLabel redoes Step 3 with one undifferentiated good label
+// to illustrate the overgeneralization risk; nil if relearning fails.
+func relearnWithSingleLabel(session *core.Session, miner mine.Miner) interface {
+	Accepts(trace.Trace) bool
+} {
+	merged := session.TracesWith(cable.Label("good fopen"))
+	merged.AddAll(session.TracesWith(cable.Label("good popen")))
+	spec, err := miner.Relearn("single-good", merged)
+	if err != nil {
+		return nil
+	}
+	return spec
+}

@@ -1,0 +1,289 @@
+// Package bitset provides dense, growable bit vectors.
+//
+// Bitsets are the workhorse representation throughout this repository:
+// concept extents and intents (internal/concept), subset-construction state
+// sets (internal/fa), and labeled-trace sets in strategy search
+// (internal/strategy) are all bitsets. The implementation is a plain slice
+// of 64-bit words; the zero value is an empty set ready to use.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of non-negative integers backed by a []uint64.
+// The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity preallocated for elements in
+// [0, n). The capacity hint only avoids reallocation; sets grow on demand.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func (s *Set) ensure(word int) {
+	if word < len(s.words) {
+		return
+	}
+	grown := make([]uint64, word+1)
+	copy(grown, s.words)
+	s.words = grown
+}
+
+// Add inserts i into the set. Negative i panics.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic("bitset: negative element " + strconv.Itoa(i))
+	}
+	w := i / wordBits
+	s.ensure(w)
+	s.words[w] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set; removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 {
+		return
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim drops trailing zero words so that structurally equal sets compare
+// equal regardless of construction history.
+func (s *Set) trim() {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	s.words = s.words[:n]
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.ensure(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes every element of t from s.
+func (s *Set) DifferenceWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+}
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t *Set) *Set {
+	u := s.Clone()
+	u.UnionWith(t)
+	return u
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t *Set) *Set {
+	u := s.Clone()
+	u.IntersectWith(t)
+	return u
+}
+
+// Difference returns a new set holding s \ t.
+func Difference(s, t *Set) *Set {
+	u := s.Clone()
+	u.DifferenceWith(t)
+	return u
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ t strictly.
+func (s *Set) ProperSubsetOf(t *Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.Range(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Range calls f on each element in increasing order; if f returns false the
+// iteration stops early.
+func (s *Set) Range(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Structurally equal sets produce equal keys.
+func (s *Set) Key() string {
+	c := s.Clone()
+	c.trim()
+	var b strings.Builder
+	b.Grow(len(c.words) * 8)
+	for _, w := range c.words {
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(w >> uint(8*i)))
+		}
+	}
+	return b.String()
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Range(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

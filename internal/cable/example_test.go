@@ -1,0 +1,68 @@
+package cable_test
+
+import (
+	"fmt"
+
+	"repro/internal/cable"
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// Example drives a labeling session the way Section 2.1's author does:
+// inspect a concept's shared transitions, label the matching traces good,
+// sweep the remainder bad, and export the good traces.
+func Example() {
+	set := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fread(X)"), // leak
+	)
+	session, err := cable.NewSession(set, fa.FromTraces(set.Alphabet()))
+	if err != nil {
+		panic(err)
+	}
+
+	// Find the concept whose traces all execute pclose and label it good.
+	for _, id := range session.Lattice().TopDownOrder() {
+		for _, t := range session.ShowTransitions(id, cable.SelectUnlabeled()) {
+			if t.Label.Op == "pclose" {
+				session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
+			}
+		}
+	}
+	// Everything left violates the protocol.
+	session.LabelTraces(session.Lattice().Top(), cable.SelectUnlabeled(), cable.Bad)
+
+	fmt.Println("done:", session.Done())
+	fmt.Println("good classes:", session.TracesWith(cable.Good).NumClasses())
+	fmt.Println("bad classes:", session.TracesWith(cable.Bad).NumClasses())
+	// Output:
+	// done: true
+	// good classes: 2
+	// bad classes: 1
+}
+
+// ExampleSession_Focus re-clusters a concept with a Focus template and
+// merges the labels back (Section 4.1).
+func ExampleSession_Focus() {
+	set := trace.NewSet(
+		trace.ParseEvents("good", "X = XCreateGC()", "XSetFont(X)", "XDrawString(X)", "XFreeGC(X)"),
+		trace.ParseEvents("bad", "X = XCreateGC()", "XDrawString(X)", "XSetFont(X)", "XFreeGC(X)"),
+	)
+	// Under an unordered reference the two traces are indistinguishable.
+	session, err := cable.NewSession(set, fa.FromTraces(set.Alphabet()))
+	if err != nil {
+		panic(err)
+	}
+	session.LabelTrace(0, cable.Good)
+	session.LabelTrace(1, cable.Bad)
+
+	// Ask Cable for a template that separates the labels.
+	sug, err := session.SuggestFocus(session.Lattice().Top())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("suggested:", sug.Template)
+	// Output:
+	// suggested: seed XDrawString(X)
+}

@@ -1,0 +1,73 @@
+package cable
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// Focus starts a sub-session on a single concept's selected traces,
+// clustered with a different reference FA (Section 4.1): "Cable starts a
+// sub-session, which focuses on a single concept's traces... The user can
+// end a focused session at any time, at which time any labels that he
+// assigned are automatically merged into the original session."
+//
+// The three FA templates the paper's experiments used for focusing are
+// fa.Unordered, fa.NameProjection, and fa.SeedOrder.
+type Focus struct {
+	parent *Session
+	sub    *Session
+	objMap []int // sub object index -> parent object index
+}
+
+// Focus creates a focused sub-session over the selected traces of the
+// concept, clustered by ref. Labels already assigned in the parent are
+// carried into the sub-session.
+func (s *Session) Focus(id int, sel Selector, ref *fa.FA) (*Focus, error) {
+	objs := s.Select(id, sel)
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("cable: focus on empty selection of concept %d", id)
+	}
+	sub := &trace.Set{}
+	for _, o := range objs {
+		c := s.set.Class(o)
+		for j := 0; j < c.Count; j++ {
+			t := c.Rep
+			t.ID = c.IDs[j]
+			sub.Add(t)
+		}
+	}
+	subSession, err := NewSession(sub, ref)
+	if err != nil {
+		return nil, err
+	}
+	subSession.SetLearner(s.learner)
+	// Class order in sub matches first-appearance order over objs, which is
+	// the parent's increasing object order, so class i of sub corresponds
+	// to objs[i].
+	if subSession.NumTraces() != len(objs) {
+		return nil, fmt.Errorf("cable: focus class mismatch: %d vs %d", subSession.NumTraces(), len(objs))
+	}
+	for i, o := range objs {
+		subSession.labels[i] = s.labels[o]
+	}
+	return &Focus{parent: s, sub: subSession, objMap: objs}, nil
+}
+
+// Session returns the focused sub-session; label and summarize it like any
+// other session.
+func (f *Focus) Session() *Session { return f.sub }
+
+// End merges the sub-session's labels back into the parent and returns the
+// number of parent traces whose label changed.
+func (f *Focus) End() int {
+	changed := 0
+	for i, o := range f.objMap {
+		if l := f.sub.labels[i]; l != f.parent.labels[o] {
+			f.parent.labels[o] = l
+			changed++
+		}
+	}
+	return changed
+}

@@ -1,0 +1,38 @@
+package cable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ApplyLabels reads "<label>\t<trace key>" lines (blank lines and #
+// comments ignored) and labels the session's matching trace classes,
+// returning how many applied. It is the parsing half of label persistence,
+// shared by the REPL's load command and by workspace files.
+func ApplyLabels(s *Session, in io.Reader) (int, error) {
+	byKey := map[string]int{}
+	for i := 0; i < s.NumTraces(); i++ {
+		byKey[s.Trace(i).Key()] = i
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	applied, lineno := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return applied, fmt.Errorf("cable: labels line %d: want \"<label>\\t<trace>\"", lineno)
+		}
+		if i, ok := byKey[parts[1]]; ok {
+			s.LabelTrace(i, Label(parts[0]))
+			applied++
+		}
+	}
+	return applied, sc.Err()
+}

@@ -1,0 +1,267 @@
+// Package cable implements the specification-debugging sessions of Section
+// 4: a concept lattice over traces, labeling of whole concepts at once,
+// summary views, and Focus sub-sessions.
+//
+// A Session owns the representative traces (one per class of identical
+// traces), the concept lattice induced by a reference FA, and a label per
+// trace. Labels partition traces into erroneous ("bad") and correct
+// ("good") sets; several distinct good labels may be used to fight
+// overgeneralization (Section 2.2). Cable tracks which traces are labeled
+// and exposes each concept's state — Unlabeled (green), PartlyLabeled
+// (yellow), FullyLabeled (red) — so a user or strategy can see where work
+// remains.
+package cable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/concept"
+	"repro/internal/fa"
+	"repro/internal/learn"
+	"repro/internal/trace"
+)
+
+// Label classifies a trace. The empty label means "not yet labeled".
+type Label string
+
+// Conventional labels. Any non-empty string is allowed; Good* variants
+// (e.g. "good fopen", "good popen") support split relearning.
+const (
+	Unlabeled Label = ""
+	Good      Label = "good"
+	Bad       Label = "bad"
+	// Mixed marks traces of a concept that is not well-formed for the
+	// desired labeling (Section 4.3); such traces are handled by hand or in
+	// a Focus session with a different FA.
+	Mixed Label = "mixed"
+)
+
+// State is a concept's labeling state.
+type State int
+
+const (
+	// StateUnlabeled: no trace in the concept is labeled (shown green).
+	StateUnlabeled State = iota
+	// StatePartlyLabeled: some traces labeled, some not (shown yellow).
+	StatePartlyLabeled
+	// StateFullyLabeled: every trace labeled; empty concepts are always
+	// fully labeled (shown red).
+	StateFullyLabeled
+)
+
+// String returns the paper's name and display color for the state.
+func (s State) String() string {
+	switch s {
+	case StateUnlabeled:
+		return "Unlabeled(green)"
+	case StatePartlyLabeled:
+		return "PartlyLabeled(yellow)"
+	default:
+		return "FullyLabeled(red)"
+	}
+}
+
+// Session is a Cable debugging session.
+type Session struct {
+	set     *trace.Set
+	traces  []trace.Trace // representatives; object i of the context
+	ref     *fa.FA
+	lattice *concept.Lattice
+	labels  []Label
+	learner learn.Learner
+}
+
+// NewSession builds a session: the context objects are the set's class
+// representatives, the attributes the reference FA's transitions. The
+// reference FA must accept every trace.
+func NewSession(set *trace.Set, ref *fa.FA) (*Session, error) {
+	reps := set.Representatives()
+	lattice, err := concept.BuildFromTraces(reps, ref)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		set:     set,
+		traces:  reps,
+		ref:     ref,
+		lattice: lattice,
+		labels:  make([]Label, len(reps)),
+		learner: learn.DefaultLearner,
+	}, nil
+}
+
+// SetLearner replaces the FA learner used by Show FA summaries.
+func (s *Session) SetLearner(l learn.Learner) { s.learner = l }
+
+// Lattice returns the session's concept lattice.
+func (s *Session) Lattice() *concept.Lattice { return s.lattice }
+
+// Set returns the underlying trace multiset (shared; do not mutate).
+func (s *Session) Set() *trace.Set { return s.set }
+
+// Ref returns the reference FA defining trace similarity.
+func (s *Session) Ref() *fa.FA { return s.ref }
+
+// NumTraces returns the number of trace classes (context objects).
+func (s *Session) NumTraces() int { return len(s.traces) }
+
+// Trace returns the representative trace of object i.
+func (s *Session) Trace(i int) trace.Trace { return s.traces[i] }
+
+// Multiplicity returns how many identical traces object i represents.
+func (s *Session) Multiplicity(i int) int { return s.set.Class(i).Count }
+
+// LabelOf returns the label of object i.
+func (s *Session) LabelOf(i int) Label { return s.labels[i] }
+
+// Labels returns a copy of the current labeling.
+func (s *Session) Labels() []Label { return append([]Label(nil), s.labels...) }
+
+// Done reports whether every trace is labeled.
+func (s *Session) Done() bool {
+	for _, l := range s.labels {
+		if l == Unlabeled {
+			return false
+		}
+	}
+	return true
+}
+
+// ConceptState returns the labeling state of a concept.
+func (s *Session) ConceptState(id int) State {
+	labeled, unlabeled := 0, 0
+	s.lattice.Concept(id).Extent.Range(func(o int) bool {
+		if s.labels[o] == Unlabeled {
+			unlabeled++
+		} else {
+			labeled++
+		}
+		return true
+	})
+	switch {
+	case unlabeled == 0:
+		return StateFullyLabeled
+	case labeled == 0:
+		return StateUnlabeled
+	default:
+		return StatePartlyLabeled
+	}
+}
+
+// Selector chooses which of a concept's traces an operation applies to,
+// mirroring Cable's prompts: all traces, only unlabeled traces, or only the
+// traces carrying a given label.
+type Selector struct {
+	mode  int // 0 = all, 1 = unlabeled, 2 = labeled-with
+	label Label
+}
+
+// SelectAll selects every trace of the concept.
+func SelectAll() Selector { return Selector{mode: 0} }
+
+// SelectUnlabeled selects only the concept's unlabeled traces.
+func SelectUnlabeled() Selector { return Selector{mode: 1} }
+
+// SelectLabel selects only the traces carrying the given label.
+func SelectLabel(l Label) Selector { return Selector{mode: 2, label: l} }
+
+func (sel Selector) matches(l Label) bool {
+	switch sel.mode {
+	case 0:
+		return true
+	case 1:
+		return l == Unlabeled
+	default:
+		return l == sel.label
+	}
+}
+
+// Select returns the object indices of the concept's traces matched by the
+// selector, in increasing order.
+func (s *Session) Select(id int, sel Selector) []int {
+	var out []int
+	s.lattice.Concept(id).Extent.Range(func(o int) bool {
+		if sel.matches(s.labels[o]) {
+			out = append(out, o)
+		}
+		return true
+	})
+	return out
+}
+
+// LabelTrace assigns a label to a single trace class directly, bypassing
+// the concept-based UI. Interactive debugging goes through LabelTraces;
+// this entry point exists for tools that replay a known labeling (ground
+// truth in experiments, saved labelings in the REPL).
+func (s *Session) LabelTrace(i int, label Label) {
+	s.labels[i] = label
+}
+
+// LabelTraces implements the "Label traces" command: give every selected
+// trace of the concept the label, replacing any existing labels (no trace
+// ever carries more than one label). It returns the number of traces whose
+// label changed.
+func (s *Session) LabelTraces(id int, sel Selector, label Label) int {
+	changed := 0
+	for _, o := range s.Select(id, sel) {
+		if s.labels[o] != label {
+			s.labels[o] = label
+			changed++
+		}
+	}
+	return changed
+}
+
+// TracesWith collects all traces carrying the label into a set, with the
+// multiplicities of the underlying classes — the input to Step 3 (fixing
+// the spec or rerunning the miner's back end on the good traces).
+func (s *Session) TracesWith(label Label) *trace.Set {
+	out := &trace.Set{}
+	for i, l := range s.labels {
+		if l != label {
+			continue
+		}
+		c := s.set.Class(i)
+		for j := 0; j < c.Count; j++ {
+			t := c.Rep
+			t.ID = c.IDs[j]
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// UsedLabels returns the distinct non-empty labels in use, sorted.
+func (s *Session) UsedLabels() []Label {
+	seen := map[Label]bool{}
+	for _, l := range s.labels {
+		if l != Unlabeled {
+			seen[l] = true
+		}
+	}
+	out := make([]Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// extentOf returns the extent bitset of selected objects.
+func (s *Session) extentOf(id int, sel Selector) *bitset.Set {
+	out := bitset.New(len(s.traces))
+	for _, o := range s.Select(id, sel) {
+		out.Add(o)
+	}
+	return out
+}
+
+// Validate panics if internal invariants are violated; used by tests.
+func (s *Session) Validate() error {
+	if len(s.labels) != len(s.traces) {
+		return fmt.Errorf("cable: %d labels for %d traces", len(s.labels), len(s.traces))
+	}
+	return nil
+}

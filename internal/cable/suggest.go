@@ -1,0 +1,187 @@
+package cable
+
+import (
+	"fmt"
+
+	"repro/internal/concept"
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// This file automates Section 4.1's Focus-template selection. When a
+// concept is mixed — the user has labeled some of its traces good and some
+// bad, but further labeling through this lattice cannot separate the rest —
+// the escape hatch is a Focus session with a different reference FA. The
+// paper's experiments drew those FAs from three templates (unordered, name
+// projection, seed order); SuggestFocus tries each against the labels
+// assigned so far and returns the first that separates them.
+
+// Suggestion is a Focus recommendation.
+type Suggestion struct {
+	// Template names the winning template: "unordered", "project <name>",
+	// or "seed <event>".
+	Template string
+	// Ref is the reference FA to focus with.
+	Ref *fa.FA
+}
+
+// SuggestFocus examines the concept's traces and the labels they already
+// carry, and proposes a Focus template whose induced sub-lattice separates
+// the differently-labeled traces (is well-formed for the partial labeling,
+// extended to unlabeled traces by ignoring them). It tries the paper's
+// templates in order of induced lattice size: unordered, then a name
+// projection per mentioned name, then a seed order per alphabet event. It
+// returns an error if the concept's labeled traces do not disagree (no
+// split needed) or if no template separates them.
+func (s *Session) SuggestFocus(id int) (Suggestion, error) {
+	objs := s.Select(id, SelectAll())
+	var traces []trace.Trace
+	var labels []Label
+	distinct := map[Label]bool{}
+	for _, o := range objs {
+		traces = append(traces, s.traces[o])
+		labels = append(labels, s.labels[o])
+		if s.labels[o] != Unlabeled {
+			distinct[s.labels[o]] = true
+		}
+	}
+	if len(distinct) < 2 {
+		return Suggestion{}, fmt.Errorf("cable: concept %d is not mixed under the current labels", id)
+	}
+	alphabet := trace.NewSet(traces...).Alphabet()
+
+	var candidates []Suggestion
+	candidates = append(candidates, Suggestion{Template: "unordered", Ref: fa.Unordered(alphabet)})
+	for _, name := range namesOf(traces) {
+		candidates = append(candidates, Suggestion{
+			Template: "project " + name,
+			Ref:      fa.NameProjection(alphabet, name),
+		})
+	}
+	for _, e := range alphabet {
+		candidates = append(candidates, Suggestion{
+			Template: "seed " + e.String(),
+			Ref:      fa.SeedOrder(alphabet, e),
+		})
+	}
+	for _, cand := range candidates {
+		if separates(cand.Ref, traces, labels) {
+			return cand, nil
+		}
+	}
+	return Suggestion{}, fmt.Errorf("cable: no template separates the labels of concept %d; label by hand or supply a custom FA", id)
+}
+
+// separates reports whether, under the candidate reference FA, no two
+// traces with different (non-empty) labels share an executed-transition
+// row's closure — precisely: the candidate lattice restricted to labeled
+// traces is well-formed. We check the sufficient, cheap condition that
+// differently-labeled traces never have identical executed-transition
+// sets, and then verify full separability by building the (small) lattice
+// and checking that every concept's labeled traces can be peeled: we reuse
+// the recursive well-formedness on the labeled subset with unlabeled
+// traces removed.
+func separates(ref *fa.FA, traces []trace.Trace, labels []Label) bool {
+	var labeled []trace.Trace
+	var labeledLabels []Label
+	for i, t := range traces {
+		if labels[i] != Unlabeled {
+			labeled = append(labeled, t)
+			labeledLabels = append(labeledLabels, labels[i])
+		}
+	}
+	// The template must accept every trace (seed-order templates reject
+	// traces lacking the seed).
+	for _, t := range traces {
+		if !ref.Accepts(t) {
+			return false
+		}
+	}
+	lattice, err := concept.BuildFromTraces(labeled, ref)
+	if err != nil {
+		return false
+	}
+	return wellFormedFor(lattice, labeledLabels)
+}
+
+// wellFormedFor is the Section 4.3 check, inlined here to avoid an import
+// cycle with internal/wellformed (which imports this package for Label).
+func wellFormedFor(l *concept.Lattice, labels []Label) bool {
+	memo := make([]int8, l.Len())
+	var rec func(id int) bool
+	rec = func(id int) bool {
+		switch memo[id] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		uniformAll := true
+		first, seen := Unlabeled, false
+		l.Concept(id).Extent.Range(func(o int) bool {
+			if !seen {
+				first, seen = labels[o], true
+				return true
+			}
+			if labels[o] != first {
+				uniformAll = false
+				return false
+			}
+			return true
+		})
+		if uniformAll {
+			memo[id] = 1
+			return true
+		}
+		ok := true
+		for _, ch := range l.Children(id) {
+			if !rec(ch) {
+				ok = false
+			}
+		}
+		if ok {
+			proper := l.Concept(id).Extent.Clone()
+			for _, ch := range l.Children(id) {
+				proper.DifferenceWith(l.Concept(ch).Extent)
+			}
+			first, seen = Unlabeled, false
+			proper.Range(func(o int) bool {
+				if !seen {
+					first, seen = labels[o], true
+					return true
+				}
+				if labels[o] != first {
+					ok = false
+					return false
+				}
+				return true
+			})
+		}
+		if ok {
+			memo[id] = 1
+		} else {
+			memo[id] = 2
+		}
+		return ok
+	}
+	for _, c := range l.Concepts() {
+		if !rec(c.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+func namesOf(traces []trace.Trace) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range traces {
+		for _, n := range t.Names() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package concept
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the lattice Hasse diagram in Graphviz DOT format with
+// reduced labeling, the conventional rendering of concept lattices (and of
+// Figures 5 and 10): each attribute appears only at its maximal concept and
+// each object only at its minimal concept, so the full extent of a concept
+// is the union of the object labels at or below it, and the full intent the
+// union of attribute labels at or above it.
+func (l *Lattice) WriteDot(w io.Writer, name string) error {
+	attrAt := make(map[int][]string)
+	for a := 0; a < l.ctx.NumAttributes(); a++ {
+		id := l.AttributeConcept(a)
+		attrAt[id] = append(attrAt[id], l.ctx.AttributeName(a))
+	}
+	objAt := make(map[int][]string)
+	for o := 0; o < l.ctx.NumObjects(); o++ {
+		id := l.ObjectConcept(o)
+		objAt[id] = append(objAt[id], l.ctx.ObjectName(o))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=record, fontsize=10];\n")
+	for _, c := range l.concepts {
+		attrs := strings.Join(attrAt[c.ID], `\n`)
+		objs := strings.Join(objAt[c.ID], `\n`)
+		label := fmt.Sprintf("{c%d|%s|%s}", c.ID, escapeDot(attrs), escapeDot(objs))
+		fmt.Fprintf(&b, "  c%d [label=\"%s\"];\n", c.ID, label)
+	}
+	for id, ps := range l.parents {
+		for _, p := range ps {
+			fmt.Fprintf(&b, "  c%d -> c%d;\n", id, p)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Dot returns the DOT rendering as a string.
+func (l *Lattice) Dot(name string) string {
+	var b strings.Builder
+	_ = l.WriteDot(&b, name) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "{", `\{`)
+	s = strings.ReplaceAll(s, "}", `\}`)
+	s = strings.ReplaceAll(s, "<", `\<`)
+	s = strings.ReplaceAll(s, ">", `\>`)
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return s
+}

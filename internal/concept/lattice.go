@@ -1,0 +1,284 @@
+package concept
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Concept is a node of the concept lattice: a maximal rectangle (X, Y) of
+// the context with X = τ(Y) and Y = σ(X).
+type Concept struct {
+	// ID is the concept's index within its lattice.
+	ID int
+	// Extent is the object set X.
+	Extent *bitset.Set
+	// Intent is the attribute set Y.
+	Intent *bitset.Set
+}
+
+// Lattice is the complete lattice of all concepts of a context, with cover
+// (Hasse-diagram) edges. Concept 0 is not necessarily the top; use Top and
+// Bottom.
+type Lattice struct {
+	ctx      *Context
+	concepts []*Concept
+	parents  [][]int // cover edges upward (larger extents)
+	children [][]int // cover edges downward (smaller extents)
+	top      int
+	bottom   int
+}
+
+// Build constructs the concept lattice of a context by incremental object
+// insertion in the style of Godin et al.'s Algorithm 1: objects are added
+// one at a time; each existing concept whose intent survives intersection
+// with the new object's row is modified in place, and each novel
+// intersection spawns a new concept. Cover edges are computed in a final
+// pass.
+func Build(ctx *Context) *Lattice {
+	l := &Lattice{ctx: ctx}
+	intents := map[string]*Concept{}
+
+	addConcept := func(extent, intent *bitset.Set) *Concept {
+		c := &Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
+		l.concepts = append(l.concepts, c)
+		intents[intent.Key()] = c
+		return c
+	}
+
+	// Seed with the bottom concept: intent = all attributes, extent = the
+	// objects (none yet) having all of them. Keeping the bottom in the
+	// lattice makes the concept set closed under intersection of intents.
+	allAttrs := bitset.New(ctx.NumAttributes())
+	for a := 0; a < ctx.NumAttributes(); a++ {
+		allAttrs.Add(a)
+	}
+	addConcept(bitset.New(ctx.NumObjects()), allAttrs)
+
+	for o := 0; o < ctx.NumObjects(); o++ {
+		row := ctx.Attributes(o)
+		snapshot := l.concepts // new concepts are appended; iterate old only
+		created := map[string]bool{}
+		n := len(snapshot)
+		for i := 0; i < n; i++ {
+			c := snapshot[i]
+			if c.Intent.SubsetOf(row) {
+				// Modified concept: the new object joins its extent.
+				c.Extent.Add(o)
+				continue
+			}
+			inter := bitset.Intersect(c.Intent, row)
+			key := inter.Key()
+			if _, exists := intents[key]; exists || created[key] {
+				continue
+			}
+			created[key] = true
+			// The extent of the new concept is τ(inter) over the objects
+			// seen so far, which includes o because inter ⊆ row.
+			extent := tauUpTo(ctx, inter, o)
+			addConcept(extent, inter)
+		}
+	}
+	l.linkCovers()
+	return l
+}
+
+// tauUpTo computes τ(y) restricted to objects 0..limit inclusive.
+func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
+	out := bitset.New(ctx.NumObjects())
+	for o := 0; o <= limit; o++ {
+		out.Add(o)
+	}
+	y.Range(func(a int) bool {
+		out.IntersectWith(ctx.Objects(a))
+		return true
+	})
+	return out
+}
+
+// linkCovers computes the Hasse diagram: c is a child of d iff
+// extent(c) ⊂ extent(d) with no concept strictly between.
+func (l *Lattice) linkCovers() {
+	n := len(l.concepts)
+	l.parents = make([][]int, n)
+	l.children = make([][]int, n)
+	// Order concepts by extent size ascending; ties broken by ID for
+	// determinism.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sizes := make([]int, n)
+	for i, c := range l.concepts {
+		sizes[i] = c.Extent.Len()
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sizes[order[i]] != sizes[order[j]] {
+			return sizes[order[i]] < sizes[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for idx, ci := range order {
+		ext := l.concepts[ci].Extent
+		// Candidates: concepts later in the order with strictly larger
+		// extents that contain ext. A candidate is a cover if no chosen
+		// cover's extent is contained in it.
+		var covers []int
+		for _, cj := range order[idx+1:] {
+			sup := l.concepts[cj].Extent
+			if sizes[cj] == sizes[ci] || !ext.SubsetOf(sup) {
+				continue
+			}
+			dominated := false
+			for _, k := range covers {
+				if l.concepts[k].Extent.SubsetOf(sup) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				covers = append(covers, cj)
+			}
+		}
+		for _, cj := range covers {
+			l.parents[ci] = append(l.parents[ci], cj)
+			l.children[cj] = append(l.children[cj], ci)
+		}
+	}
+	// Identify top (maximal extent) and bottom (minimal extent). Both are
+	// unique in a complete lattice.
+	l.top, l.bottom = order[n-1], order[0]
+	for _, c := range l.concepts {
+		if len(l.parents[c.ID]) == 0 && c.ID != l.top {
+			// Cannot happen in a complete lattice; guard for debugging.
+			panic("concept: multiple maximal concepts")
+		}
+	}
+	for i := range l.parents {
+		sort.Ints(l.parents[i])
+		sort.Ints(l.children[i])
+	}
+}
+
+// Context returns the context the lattice was built from.
+func (l *Lattice) Context() *Context { return l.ctx }
+
+// Len returns the number of concepts.
+func (l *Lattice) Len() int { return len(l.concepts) }
+
+// Concept returns the concept with the given ID.
+func (l *Lattice) Concept(id int) *Concept { return l.concepts[id] }
+
+// Concepts returns all concepts; the slice is shared and must not be
+// mutated.
+func (l *Lattice) Concepts() []*Concept { return l.concepts }
+
+// Top returns the ID of the top concept (extent = all objects).
+func (l *Lattice) Top() int { return l.top }
+
+// Bottom returns the ID of the bottom concept (intent = all attributes).
+func (l *Lattice) Bottom() int { return l.bottom }
+
+// Parents returns the IDs of the concepts covering id (immediately above).
+func (l *Lattice) Parents(id int) []int { return l.parents[id] }
+
+// Children returns the IDs of the concepts covered by id (immediately
+// below). These are the "concepts immediately below this concept" a Cable
+// user descends into.
+func (l *Lattice) Children(id int) []int { return l.children[id] }
+
+// Leq reports whether concept a ≤ concept b in the lattice order
+// (extent(a) ⊆ extent(b)).
+func (l *Lattice) Leq(a, b int) bool {
+	return l.concepts[a].Extent.SubsetOf(l.concepts[b].Extent)
+}
+
+// Meet returns the ID of the greatest lower bound of a and b: the concept
+// with extent closure of extent(a) ∩ extent(b).
+func (l *Lattice) Meet(a, b int) int {
+	ext := bitset.Intersect(l.concepts[a].Extent, l.concepts[b].Extent)
+	intent := l.ctx.Sigma(ext)
+	return l.byIntent(intent)
+}
+
+// Join returns the ID of the least upper bound of a and b.
+func (l *Lattice) Join(a, b int) int {
+	intent := bitset.Intersect(l.concepts[a].Intent, l.concepts[b].Intent)
+	return l.byIntent(l.ctx.Sigma(l.ctx.Tau(intent)))
+}
+
+// byIntent finds the concept with exactly this intent; the intent must be
+// closed (σ(τ(intent)) == intent).
+func (l *Lattice) byIntent(intent *bitset.Set) int {
+	for _, c := range l.concepts {
+		if c.Intent.Equal(intent) {
+			return c.ID
+		}
+	}
+	panic("concept: intent not in lattice (not closed?)")
+}
+
+// Find returns the most specific concept whose extent contains all the
+// given objects: the concept (τ(σ(X)), σ(X)).
+func (l *Lattice) Find(objects *bitset.Set) int {
+	return l.byIntent(l.ctx.Sigma(objects))
+}
+
+// AttributeConcept returns the ID of the maximal concept whose intent
+// contains attribute a (μa): the concept (τ({a}), σ(τ({a}))). Reduced
+// labeling shows each attribute at this concept only.
+func (l *Lattice) AttributeConcept(a int) int {
+	y := bitset.FromSlice([]int{a})
+	ext := l.ctx.Tau(y)
+	return l.byIntent(l.ctx.Sigma(ext))
+}
+
+// ObjectConcept returns the ID of the minimal concept whose extent contains
+// object o (γo). Reduced labeling shows each object at this concept only.
+func (l *Lattice) ObjectConcept(o int) int {
+	x := bitset.FromSlice([]int{o})
+	return l.byIntent(l.ctx.Sigma(x))
+}
+
+// TopDownOrder returns concept IDs in breadth-first order from the top —
+// the traversal order of the Top-down strategy.
+func (l *Lattice) TopDownOrder() []int {
+	seen := make([]bool, len(l.concepts))
+	order := make([]int, 0, len(l.concepts))
+	queue := []int{l.top}
+	seen[l.top] = true
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ch := range l.children[id] {
+			if !seen[ch] {
+				seen[ch] = true
+				queue = append(queue, ch)
+			}
+		}
+	}
+	return order
+}
+
+// String renders every concept with reduced labels.
+func (l *Lattice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lattice: %d concepts (top=%d, bottom=%d)\n", len(l.concepts), l.top, l.bottom)
+	for _, c := range l.concepts {
+		fmt.Fprintf(&b, "  c%d: extent=%s intent=%s parents=%v\n",
+			c.ID, l.names(c.Extent, l.ctx.objNames), l.names(c.Intent, l.ctx.attrNames), l.parents[c.ID])
+	}
+	return b.String()
+}
+
+func (l *Lattice) names(s *bitset.Set, names []string) string {
+	parts := []string{}
+	s.Range(func(i int) bool {
+		parts = append(parts, names[i])
+		return true
+	})
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,206 @@
+package concept
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+func randomContext(rng *rand.Rand, maxObjs, maxAttrs int) *Context {
+	no := 1 + rng.Intn(maxObjs)
+	na := 1 + rng.Intn(maxAttrs)
+	objs := make([]string, no)
+	for i := range objs {
+		objs[i] = fmt.Sprintf("o%d", i)
+	}
+	attrs := make([]string, na)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	c := NewContext(objs, attrs)
+	for o := 0; o < no; o++ {
+		for a := 0; a < na; a++ {
+			if rng.Intn(3) == 0 {
+				c.Relate(o, a)
+			}
+		}
+	}
+	return c
+}
+
+func TestPropBuildersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		c := randomContext(rng, 10, 8)
+		if !Equal(Build(c), BuildNaive(c)) {
+			t.Fatalf("iter %d: builders disagree on\n%s\nincremental:\n%s\nnaive:\n%s",
+				iter, c, Build(c), BuildNaive(c))
+		}
+	}
+}
+
+func TestPropConceptsAreFixpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		c := randomContext(rng, 12, 8)
+		l := Build(c)
+		for _, cc := range l.Concepts() {
+			if !c.Sigma(cc.Extent).Equal(cc.Intent) {
+				t.Fatalf("iter %d: σ(extent) != intent for c%d", iter, cc.ID)
+			}
+			if !c.Tau(cc.Intent).Equal(cc.Extent) {
+				t.Fatalf("iter %d: τ(intent) != extent for c%d", iter, cc.ID)
+			}
+		}
+	}
+}
+
+func TestPropGaloisConnection(t *testing.T) {
+	// σ and τ form a Galois connection: X ⊆ τ(Y) iff Y ⊆ σ(X); also the
+	// closure facts X ⊆ τ(σ(X)) and σ = σ∘τ∘σ.
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 200; iter++ {
+		c := randomContext(rng, 10, 8)
+		x := bitset.New(c.NumObjects())
+		for o := 0; o < c.NumObjects(); o++ {
+			if rng.Intn(2) == 0 {
+				x.Add(o)
+			}
+		}
+		y := bitset.New(c.NumAttributes())
+		for a := 0; a < c.NumAttributes(); a++ {
+			if rng.Intn(2) == 0 {
+				y.Add(a)
+			}
+		}
+		if x.SubsetOf(c.Tau(y)) != y.SubsetOf(c.Sigma(x)) {
+			t.Fatalf("iter %d: Galois connection violated", iter)
+		}
+		if !x.SubsetOf(c.Tau(c.Sigma(x))) {
+			t.Fatalf("iter %d: X ⊄ τσ(X)", iter)
+		}
+		if !c.Sigma(c.Tau(c.Sigma(x))).Equal(c.Sigma(x)) {
+			t.Fatalf("iter %d: στσ != σ", iter)
+		}
+	}
+}
+
+func TestPropEveryClosureIsAConcept(t *testing.T) {
+	// For every subset X of objects, (τσ(X), σ(X)) must appear in the
+	// lattice. Checked exhaustively for small contexts.
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 50; iter++ {
+		c := randomContext(rng, 6, 6)
+		l := Build(c)
+		byIntent := map[string]*Concept{}
+		for _, cc := range l.Concepts() {
+			byIntent[cc.Intent.Key()] = cc
+		}
+		n := c.NumObjects()
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			x := bitset.New(n)
+			for o := 0; o < n; o++ {
+				if mask&(1<<uint(o)) != 0 {
+					x.Add(o)
+				}
+			}
+			intent := c.Sigma(x)
+			cc, ok := byIntent[intent.Key()]
+			if !ok {
+				t.Fatalf("iter %d: closure of %s missing from lattice", iter, x)
+			}
+			if !cc.Extent.Equal(c.Tau(intent)) {
+				t.Fatalf("iter %d: wrong extent for closure of %s", iter, x)
+			}
+		}
+	}
+}
+
+func TestPropLatticeSizeBound(t *testing.T) {
+	// |lattice| ≤ 2^min(|O|, |A|), and ≤ 2^k·|O|+1-ish where k bounds row
+	// size; we check the hard bound.
+	rng := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 60; iter++ {
+		c := randomContext(rng, 8, 8)
+		l := Build(c)
+		m := c.NumObjects()
+		if c.NumAttributes() < m {
+			m = c.NumAttributes()
+		}
+		if l.Len() > 1<<uint(m)+1 {
+			t.Fatalf("iter %d: lattice size %d exceeds bound", iter, l.Len())
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	// The Section 2 stdio violations against the Figure 3-style reference:
+	// cluster by executed transitions.
+	b := fa.NewBuilder("ref")
+	s := b.States(1)
+	b.Start(s[0])
+	b.Accept(s[0])
+	b.EdgeStr(s[0], "X = fopen()", s[0])
+	b.EdgeStr(s[0], "X = popen()", s[0])
+	b.EdgeStr(s[0], "pclose(X)", s[0])
+	b.EdgeStr(s[0], "fread(X)", s[0])
+	ref := b.MustBuild()
+
+	traces := []trace.Trace{
+		trace.ParseEvents("v1", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fread(X)"),
+		trace.ParseEvents("v3", "X = fopen()"),
+	}
+	ctx, err := TraceContext(traces, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.NumObjects() != 3 || ctx.NumAttributes() != 4 {
+		t.Fatalf("context shape %dx%d", ctx.NumObjects(), ctx.NumAttributes())
+	}
+	// v1 executes popen (attr 1) and pclose (attr 2).
+	if !ctx.Has(0, 1) || !ctx.Has(0, 2) || ctx.Has(0, 0) || ctx.Has(0, 3) {
+		t.Errorf("v1 row wrong: %s", ctx.Attributes(0))
+	}
+	l, err := BuildFromTraces(traces, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two popen traces share a concept whose intent includes the popen
+	// transition.
+	id := l.Find(bitset.FromSlice([]int{0, 1}))
+	if !l.Concept(id).Intent.Has(1) {
+		t.Errorf("popen concept intent = %s", l.Concept(id).Intent)
+	}
+	if l.Concept(id).Extent.Has(2) {
+		t.Errorf("fopen trace in popen concept")
+	}
+}
+
+func TestTraceContextRejectsUnrecognized(t *testing.T) {
+	b := fa.NewBuilder("tiny")
+	s := b.States(1)
+	b.Start(s[0])
+	b.Accept(s[0])
+	b.EdgeStr(s[0], "a()", s[0])
+	ref := b.MustBuild()
+	_, err := TraceContext([]trace.Trace{trace.ParseEvents("bad", "zzz()")}, ref)
+	if err == nil {
+		t.Fatal("TraceContext accepted unrecognized trace")
+	}
+}
+
+func TestTraceContextNamesDefault(t *testing.T) {
+	ref := fa.Unordered(nil)
+	ctx, err := TraceContext([]trace.Trace{{}}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.ObjectName(0) != "t0" {
+		t.Errorf("default object name = %q", ctx.ObjectName(0))
+	}
+}

@@ -1,0 +1,55 @@
+package concept
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// TraceContext builds the formal context of Section 3.2 from a set of traces
+// and a reference FA: objects are the traces, attributes are the FA's
+// transitions, and (o, a) ∈ R iff transition a lies on some accepting run of
+// the FA on o.
+//
+// Every trace must be accepted by the reference FA — the paper requires a
+// reference FA that "recognizes (at least)" the traces being clustered. A
+// rejected trace yields an error naming it, so callers can pick a coarser
+// reference FA (fa.FromTraces always works).
+func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
+	objNames := make([]string, len(traces))
+	for i, t := range traces {
+		name := t.ID
+		if name == "" {
+			name = fmt.Sprintf("t%d", i)
+		}
+		objNames[i] = name
+	}
+	attrNames := make([]string, ref.NumTransitions())
+	for i, tr := range ref.Transitions() {
+		attrNames[i] = tr.String()
+	}
+	ctx := NewContext(objNames, attrNames)
+	for o, t := range traces {
+		executed, ok := ref.Executed(t)
+		if !ok {
+			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], t.Key())
+		}
+		executed.Range(func(a int) bool {
+			ctx.Relate(o, a)
+			return true
+		})
+	}
+	return ctx, nil
+}
+
+// BuildFromTraces is the one-call form of Step 1 of the paper's method:
+// compute the context of traces × executed transitions and construct its
+// concept lattice.
+func BuildFromTraces(traces []trace.Trace, ref *fa.FA) (*Lattice, error) {
+	ctx, err := TraceContext(traces, ref)
+	if err != nil {
+		return nil, err
+	}
+	return Build(ctx), nil
+}

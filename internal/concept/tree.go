@@ -1,0 +1,42 @@
+package concept
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree renders the lattice's Hasse diagram as an indented text tree rooted
+// at the top concept — the terminal stand-in for the Dotty canvas the
+// original Cable drew on. The lattice is a DAG, so a concept reachable
+// through several parents is expanded under its first parent and shown as
+// a back-reference ("↟ c7") elsewhere. label supplies the per-concept
+// annotation (the Cable REPL shows labeling states and sizes).
+func (l *Lattice) Tree(label func(id int) string) string {
+	if label == nil {
+		label = func(id int) string {
+			c := l.Concept(id)
+			return fmt.Sprintf("%d object(s), %d attribute(s)", c.Extent.Len(), c.Intent.Len())
+		}
+	}
+	var b strings.Builder
+	expanded := make([]bool, l.Len())
+	var walk func(id int, prefix string, childPrefix string)
+	walk = func(id int, prefix, childPrefix string) {
+		if expanded[id] {
+			fmt.Fprintf(&b, "%s↟ c%d\n", prefix, id)
+			return
+		}
+		expanded[id] = true
+		fmt.Fprintf(&b, "%sc%d: %s\n", prefix, id, label(id))
+		children := l.Children(id)
+		for i, ch := range children {
+			connector, nextPrefix := "├─ ", "│  "
+			if i == len(children)-1 {
+				connector, nextPrefix = "└─ ", "   "
+			}
+			walk(ch, childPrefix+connector, childPrefix+nextPrefix)
+		}
+	}
+	walk(l.Top(), "", "")
+	return b.String()
+}

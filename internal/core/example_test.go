@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cable"
+	"repro/internal/core"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+// Example walks the Section 2.1 workflow: verify, cluster, label, fix.
+func Example() {
+	// Scenario traces a verifier would check: two correct popen protocols
+	// the buggy spec rejects, and one genuine leak.
+	scenarios := trace.NewSet(
+		trace.ParseEvents("s1", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("s2", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("s3", "X = fopen()", "fread(X)"),
+	)
+	session, violations, err := core.DebugViolations(specs.FigureOneFA(), scenarios)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(violations))
+
+	// Label through the lattice: the traces executing pclose are good.
+	for _, id := range session.Lattice().TopDownOrder() {
+		for _, t := range session.ShowTransitions(id, cable.SelectUnlabeled()) {
+			if t.Label.Op == "pclose" {
+				session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
+			}
+		}
+	}
+	session.LabelTraces(session.Lattice().Top(), cable.SelectUnlabeled(), cable.Bad)
+
+	fixed, err := core.FixSpec(specs.FigureOneFA(), session)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fixed accepts popen;pclose:",
+		fixed.Accepts(trace.ParseEvents("", "X = popen()", "pclose(X)")))
+	fmt.Println("fixed rejects the leak:",
+		!fixed.Accepts(trace.ParseEvents("", "X = fopen()", "fread(X)")))
+	// Output:
+	// violations: 3
+	// fixed accepts popen;pclose: true
+	// fixed rejects the leak: true
+}

@@ -1,0 +1,36 @@
+package event
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that successful parses
+// round-trip through the canonical rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"X = fopen()",
+		"fclose(X)",
+		"Y = XCreateGC(D, W)",
+		"XFlush()",
+		"*()",
+		"",
+		"= f()",
+		"f(a,,b)",
+		"f(((",
+		"a = b = c()",
+		"  spaced   (  x , y )  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", e.String(), s, err)
+		}
+		if !again.Equal(e) {
+			t.Fatalf("round trip changed %q -> %q", e.String(), again.String())
+		}
+	})
+}

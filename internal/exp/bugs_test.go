@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBugCensus(t *testing.T) {
+	rows, err := BugCensus(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var total BugRow
+	byName := map[string]BugRow{}
+	for _, r := range rows {
+		byName[r.Spec] = r
+		total.Leaks += r.Leaks
+		total.Races += r.Races
+		total.Perf += r.Perf
+		total.Other += r.Other
+	}
+	// The paper's bug taxonomy must all be represented: resource leaks,
+	// potential races, and performance bugs (plus other misuses).
+	if total.Leaks == 0 || total.Races == 0 || total.Perf == 0 || total.Other == 0 {
+		t.Errorf("census missing a bug kind: %+v", total)
+	}
+	// Kind assignments land where the corpus puts them.
+	if byName["XInternAtom"].Perf == 0 || byName["XInternAtom"].Leaks != 0 {
+		t.Errorf("XInternAtom census = %+v, want perf-only", byName["XInternAtom"])
+	}
+	if byName["RmvTimeOut"].Races == 0 {
+		t.Errorf("RmvTimeOut census = %+v, want races", byName["RmvTimeOut"])
+	}
+	if byName["XtFree"].Leaks == 0 || byName["XtFree"].Other == 0 {
+		t.Errorf("XtFree census = %+v, want leaks and double frees", byName["XtFree"])
+	}
+	// Every spec flags at least one bug (the workloads all inject errors).
+	for _, r := range rows {
+		if r.Total() == 0 {
+			t.Errorf("%s found no bugs", r.Spec)
+		}
+	}
+	out := FormatBugs(rows)
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "199 bugs") {
+		t.Errorf("FormatBugs:\n%s", out)
+	}
+}

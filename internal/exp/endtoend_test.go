@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/specs"
+)
+
+func TestEndToEndStdioAndCorpusSamples(t *testing.T) {
+	cfg := quickCfg()
+	// A cross-section of the corpus: small, race-flavored, and the giant.
+	for _, name := range []string{"XGetSelOwner", "RmvTimeOut", "XFreeGC", "XtFree"} {
+		spec, _ := specs.ByName(name)
+		row, err := EndToEnd(spec, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The mined spec must exhibit the debugging problem.
+		if row.MinedAcceptsBad == 0 {
+			t.Errorf("%s: mined spec accepts no bad scenario; nothing to debug", name)
+		}
+		// Debugging eliminates every injected bug.
+		if row.BadRejected < 1.0 {
+			t.Errorf("%s: relearned spec still accepts %.0f%% of bad classes",
+				name, 100*(1-row.BadRejected))
+		}
+		// And keeps every good training behaviour.
+		if row.TrainGoodAccepted < 1.0 {
+			t.Errorf("%s: relearned spec rejects %.0f%% of good classes",
+				name, 100*(1-row.TrainGoodAccepted))
+		}
+	}
+}
+
+func TestEndToEndFormat(t *testing.T) {
+	cfg := quickCfg()
+	spec, _ := specs.ByName("PrsTransTbl")
+	row, err := EndToEnd(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatE2E([]E2ERow{row})
+	for _, want := range []string{"PrsTransTbl", "badRej", "trainGood"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatE2E missing %q:\n%s", want, out)
+		}
+	}
+}

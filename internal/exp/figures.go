@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cable"
+	"repro/internal/concept"
+	"repro/internal/core"
+	"repro/internal/fa"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/wellformed"
+	"repro/internal/xtrace"
+)
+
+// Figures regenerates the paper's figures as text (with DOT embedded where
+// the original is a graph). Keys are "1".."10" and "wf" (the Section 4.3
+// non-well-formed example).
+func Figures(cfg Config) (map[string]string, error) {
+	out := map[string]string{}
+
+	stdio := specs.Stdio()
+	buggy := specs.FigureOneFA()
+	gen := xtrace.Generator{Model: stdio.Model, Seed: cfg.Seed}
+	scenarios, truth := gen.ScenarioSet(120)
+
+	// Figure 1: the incorrect temporal specification.
+	out["1"] = "Figure 1: an incorrect temporal specification\n" +
+		"For all calls X = fopen() or X = popen():\n\n" + buggy.String() + "\n" + buggy.Dot()
+
+	// Figure 2: example violation traces.
+	session, violations, err := core.DebugViolations(buggy, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	if session == nil {
+		return nil, fmt.Errorf("exp: stdio workload produced no violations")
+	}
+	var fig2 strings.Builder
+	fig2.WriteString("Figure 2: example violation traces (one per class)\n")
+	seen := map[string]bool{}
+	for _, v := range violations {
+		if seen[v.Trace.Key()] {
+			continue
+		}
+		seen[v.Trace.Key()] = true
+		fmt.Fprintf(&fig2, "  %s\n", v)
+	}
+	out["2"] = fig2.String()
+
+	// Figure 3: a reference FA that recognizes the violation traces.
+	out["3"] = "Figure 3: reference FA recognizing the violation traces\n" +
+		session.Ref().String() + session.Ref().Dot()
+
+	// Figure 4: a smaller unordered FA inducing a coarser lattice.
+	alphabet := session.Ref().Alphabet()
+	unordered := fa.Unordered(alphabet)
+	out["4"] = "Figure 4: unordered reference FA (coarser distinctions)\n" +
+		unordered.String() + unordered.Dot()
+
+	// Figure 5: part of the induced concept lattice.
+	out["5"] = "Figure 5: concept lattice of the violation traces\n" +
+		session.Lattice().String() + "\n" + session.Lattice().Dot("figure5")
+
+	// Figure 6: the fixed specification.
+	for i := 0; i < session.NumTraces(); i++ {
+		if truth[session.Trace(i).Key()] {
+			session.LabelTrace(i, cable.Good)
+		} else {
+			session.LabelTrace(i, cable.Bad)
+		}
+	}
+	fixed, err := core.FixSpec(buggy, session)
+	if err != nil {
+		return nil, err
+	}
+	out["6"] = "Figure 6: the fixed specification\n" + fixed.String() + fixed.Dot()
+
+	// Figure 7: the architecture of the Strauss miner.
+	out["7"] = figure7
+
+	// Figure 8: good scenario traces for mining.
+	var fig8 strings.Builder
+	fig8.WriteString("Figure 8: good scenario traces\n")
+	var goodKeys []string
+	for _, c := range scenarios.Classes() {
+		if truth[c.Rep.Key()] {
+			goodKeys = append(goodKeys, c.Rep.Key())
+		}
+	}
+	sort.Strings(goodKeys)
+	for i, k := range goodKeys {
+		if i >= 10 {
+			fmt.Fprintf(&fig8, "  ... (%d more)\n", len(goodKeys)-i)
+			break
+		}
+		fmt.Fprintf(&fig8, "  %s\n", k)
+	}
+	out["8"] = fig8.String()
+
+	// Figures 9 and 10: the animals context and its concept lattice.
+	animals := AnimalsContext()
+	out["9"] = "Figure 9: the animals context\n" + animals.String()
+	out["10"] = "Figure 10: the animals concept lattice\n" + concept.Build(animals).Dot("figure10")
+
+	// Section 4.3: the non-well-formed foo lattice.
+	out["wf"] = wfFigure()
+	return out, nil
+}
+
+// AnimalsContext builds the introductory FCA example of Figure 9 (after
+// Michael Siff's thesis): animals as objects, adjectives as attributes.
+func AnimalsContext() *concept.Context {
+	objs := []string{"cat", "dog", "gibbon", "dolphin", "frog"}
+	attrs := []string{"fourlegged", "haircovered", "intelligent", "marine", "thumbed"}
+	c := concept.NewContext(objs, attrs)
+	rel := [][2]int{
+		{0, 0}, {0, 1},
+		{1, 0}, {1, 1}, {1, 2},
+		{2, 1}, {2, 2}, {2, 4},
+		{3, 2}, {3, 3},
+		{4, 0}, {4, 3},
+	}
+	for _, p := range rel {
+		c.Relate(p[0], p[1])
+	}
+	return c
+}
+
+const figure7 = `Figure 7: the architecture of the Strauss specification miner
+
+  program runs          +-----------+   scenario    +----------+
+  (execution traces) -> | front end | -> traces  -> | back end | -> spec FA
+                        +-----------+               +----------+
+                        seeds + object flow         sk-strings learner
+                        (internal/mine.FrontEnd)    (+ optional coring)
+                                                    (internal/mine.BackEnd)
+
+  Debugging (this paper): scenario traces + mined FA -> concept lattice
+  (internal/concept) -> Cable labeling session (internal/cable) -> rerun
+  back end on traces labeled good.
+`
+
+// wfFigure demonstrates the Section 4.3 counterexample end to end.
+func wfFigure() string {
+	b := fa.NewBuilder("foo")
+	s := b.State()
+	b.Start(s)
+	b.Accept(s)
+	b.EdgeStr(s, "foo()", s)
+	ref := b.MustBuild()
+	traces := []trace.Trace{
+		trace.ParseEvents("even2", "foo()", "foo()"),
+		trace.ParseEvents("odd1", "foo()"),
+		trace.ParseEvents("even4", "foo()", "foo()", "foo()", "foo()"),
+	}
+	l, err := concept.BuildFromTraces(traces, ref)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	labels := []cable.Label{cable.Good, cable.Bad, cable.Good}
+	ok, bad := wellformed.Check(l, labels)
+	var out strings.Builder
+	out.WriteString("Section 4.3: a lattice that is not well-formed\n")
+	out.WriteString("Specification: one accepting state, one foo() self-loop (accepts foo*)\n")
+	out.WriteString("Desired labeling: even foo-counts good, odd bad\n")
+	fmt.Fprintf(&out, "well-formed: %v; offending concepts: %v\n", ok, bad)
+	out.WriteString(l.String())
+	out.WriteString("Every trace executes the same single transition, so all traces share\n")
+	out.WriteString("one concept and no sequence of Label-traces commands can separate them.\n")
+	return out.String()
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReferenceAblation(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := ReferenceAblation("XtFree", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]RefRow{}
+	for _, r := range rows {
+		byName[r.Reference] = r
+	}
+	// The unordered reference is too coarse for XtFree: double frees share
+	// their event support with good traces, so the lattice mixes labels.
+	if byName["unordered"].WellFormed {
+		t.Error("unordered reference unexpectedly well-formed on XtFree")
+	}
+	// The mined FA is well-formed and cheaper than the PTA (the paper's
+	// granularity trade-off: coarser FA, smaller lattice, fewer decisions).
+	mined, pta := byName["mined(sk)"], byName["pta"]
+	if !mined.WellFormed || !pta.WellFormed {
+		t.Fatalf("mined/pta well-formedness: %v/%v", mined.WellFormed, pta.WellFormed)
+	}
+	if mined.Expert >= pta.Expert {
+		t.Errorf("mined expert cost %d not below PTA %d", mined.Expert, pta.Expert)
+	}
+	if mined.Concepts >= pta.Concepts {
+		t.Errorf("mined lattice %d not smaller than PTA %d", mined.Concepts, pta.Concepts)
+	}
+	out := FormatRefAblation("XtFree", rows)
+	if !strings.Contains(out, "well-formed") || !strings.Contains(out, "—") {
+		t.Errorf("format:\n%s", out)
+	}
+	if _, err := ReferenceAblation("NoSuchSpec", cfg); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatticeGrowth(t *testing.T) {
+	pts, err := LatticeGrowth(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 17 {
+		t.Fatalf("%d points", len(pts))
+	}
+	slope, _, r := LinearFit(pts)
+	// The paper's observation: roughly linear in transitions. A strong
+	// positive correlation with a moderate slope is the reproducible shape.
+	if r < 0.6 {
+		t.Errorf("correlation r = %.3f; expected roughly linear growth", r)
+	}
+	if slope <= 0 || slope > 5 {
+		t.Errorf("slope = %.2f; concepts should grow gently with attributes", slope)
+	}
+	// Crucially NOT exponential in objects: XtFree has ~20x the objects of
+	// the small specs but a lattice in the same few-dozen range.
+	var xtFree, small GrowthPoint
+	for _, p := range pts {
+		if p.Spec == "XtFree" {
+			xtFree = p
+		}
+		if p.Spec == "PrsTransTbl" {
+			small = p
+		}
+	}
+	if xtFree.Concepts > 40*small.Concepts {
+		t.Errorf("XtFree lattice (%d) blows up relative to objects", xtFree.Concepts)
+	}
+	out := FormatGrowth(pts)
+	if !strings.Contains(out, "least-squares fit") {
+		t.Error("FormatGrowth missing fit line")
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, i, r := LinearFit(nil); s != 0 || i != 0 || r != 0 {
+		t.Error("empty fit nonzero")
+	}
+	same := []GrowthPoint{{Attrs: 3, Concepts: 4}, {Attrs: 3, Concepts: 6}}
+	if s, _, _ := LinearFit(same); s != 0 {
+		t.Error("vertical data gave a slope")
+	}
+}
+
+func TestAdvantageSweep(t *testing.T) {
+	cfg := quickCfg()
+	pts, err := AdvantageSweep("XtFree", cfg, []int{50, 200, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Section 5.3's claim: the advantage increases with the number of
+	// different scenario traces — the Expert/Baseline ratio must shrink
+	// from the smallest to the largest workload.
+	first := float64(pts[0].Expert) / float64(pts[0].Baseline)
+	last := float64(pts[len(pts)-1].Expert) / float64(pts[len(pts)-1].Baseline)
+	if last >= first {
+		t.Errorf("advantage did not grow: ratio %.2f -> %.2f", first, last)
+	}
+	for _, p := range pts {
+		if p.Baseline != 2*p.Unique {
+			t.Errorf("Baseline %d != 2×unique %d", p.Baseline, p.Unique)
+		}
+		if p.Expert > p.Baseline+2 {
+			t.Errorf("Expert %d much worse than Baseline %d", p.Expert, p.Baseline)
+		}
+	}
+	if _, err := AdvantageSweep("NoSuchSpec", cfg, []int{10}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	out := FormatSweep("XtFree", pts)
+	if !strings.Contains(out, "expert/baseline") {
+		t.Error("FormatSweep missing header")
+	}
+}

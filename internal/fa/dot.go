@@ -1,0 +1,55 @@
+package fa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the automaton in Graphviz DOT format, in the visual style
+// of the paper's figures: circles for states, double circles for accepting
+// states, an arrow from nowhere into each start state, and event renderings
+// as edge labels. Parallel edges between the same pair of states are merged
+// into one edge with a multi-line label.
+func (f *FA) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontsize=11];\n")
+	b.WriteString("  edge [fontsize=10];\n")
+	for s := 0; s < f.numStates; s++ {
+		shape := "circle"
+		if f.accept.Has(s) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [shape=%s, label=\"%d\"];\n", s, shape, s)
+	}
+	for i, s := range f.StartStates() {
+		fmt.Fprintf(&b, "  _start%d [shape=point, style=invis];\n", i)
+		fmt.Fprintf(&b, "  _start%d -> s%d;\n", i, int(s))
+	}
+	merged := map[[2]State][]string{}
+	var order [][2]State
+	for _, t := range f.trans {
+		key := [2]State{t.From, t.To}
+		if _, ok := merged[key]; !ok {
+			order = append(order, key)
+		}
+		merged[key] = append(merged[key], t.Label.String())
+	}
+	for _, key := range order {
+		label := strings.Join(merged[key], "\\n")
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s\"];\n", int(key[0]), int(key[1]), label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Dot returns the DOT rendering as a string.
+func (f *FA) Dot() string {
+	var b strings.Builder
+	_ = f.WriteDot(&b) // strings.Builder writes cannot fail
+	return b.String()
+}

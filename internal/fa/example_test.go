@@ -1,0 +1,59 @@
+package fa_test
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// Example builds the corrected stdio specification with the Builder API
+// and simulates traces against it.
+func Example() {
+	b := fa.NewBuilder("stdio")
+	s := b.States(3)
+	b.Start(s[0])
+	b.Accept(s[2])
+	b.EdgeStr(s[0], "X = fopen()", s[1])
+	b.EdgeStr(s[1], "fread(X)", s[1])
+	b.EdgeStr(s[1], "fclose(X)", s[2])
+	spec := b.MustBuild()
+
+	ok := trace.ParseEvents("", "X = fopen()", "fread(X)", "fclose(X)")
+	leak := trace.ParseEvents("", "X = fopen()", "fread(X)")
+	fmt.Println(spec.Accepts(ok), spec.Accepts(leak))
+	// Output:
+	// true false
+}
+
+// ExampleCompile writes a specification as a regular expression over
+// events, the notation the paper's Focus templates use.
+func ExampleCompile() {
+	spec, err := fa.Compile("stdio", "X = fopen() (fread(X)|fwrite(X))* fclose(X)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec.Accepts(trace.ParseEvents("", "X = fopen()", "fwrite(X)", "fclose(X)")))
+	fmt.Println(spec.Accepts(trace.ParseEvents("", "X = fopen()")))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleFA_Executed computes the relation R of Section 3.2: which
+// transitions lie on an accepting run of a trace.
+func ExampleFA_Executed() {
+	b := fa.NewBuilder("ref")
+	s := b.State()
+	b.Start(s)
+	b.Accept(s)
+	b.EdgeStr(s, "open()", s)  // transition 0
+	b.EdgeStr(s, "close()", s) // transition 1
+	b.EdgeStr(s, "read()", s)  // transition 2
+	ref := b.MustBuild()
+
+	executed, ok := ref.Executed(trace.ParseEvents("", "open()", "close()"))
+	fmt.Println(ok, executed)
+	// Output:
+	// true {0, 1}
+}

@@ -1,0 +1,72 @@
+package fa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks that the regex compiler never panics and that
+// compiled automata survive serialization (when wildcard-free).
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"a() b()",
+		"(a()|b())* c()",
+		"X = fopen() (fread(X)|fwrite(X))* fclose(X)",
+		". . .",
+		"a()+|b()?",
+		"((((",
+		"*",
+		"",
+		"|",
+		"a() ; ; b()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		if len(pattern) > 200 {
+			return // bound automaton size
+		}
+		compiled, err := Compile("fuzz", pattern)
+		if err != nil {
+			return
+		}
+		// Serialization round trip preserves the language.
+		var buf strings.Builder
+		if err := Write(&buf, compiled); err != nil {
+			t.Fatalf("Write failed: %v", err)
+		}
+		again, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v\n%s", err, buf.String())
+		}
+		if again.NumStates() != compiled.NumStates() || again.NumTransitions() != compiled.NumTransitions() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzRead checks the FA file parser on arbitrary input.
+func FuzzRead(f *testing.F) {
+	var buf strings.Builder
+	_ = Write(&buf, Unordered(nil))
+	f.Add(buf.String())
+	f.Add("fa x\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n")
+	f.Add("fa\nstates 0\nend\n")
+	f.Add("bogus\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if strings.Contains(g.Name(), "\n") {
+			return
+		}
+		if err := Write(&out, g); err != nil {
+			t.Fatalf("Write of parsed FA failed: %v", err)
+		}
+		if _, err := Read(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("round trip does not reparse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package fa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// The text format for automaton files:
+//
+//	fa <name>
+//	states <n>
+//	start <s> [<s>...]
+//	accept [<s>...]
+//	edge <from> <to> <event>
+//	...
+//	end
+//
+// Blank lines and lines beginning with # are ignored. The wildcard label is
+// written "*()".
+
+// Write serializes the automaton.
+func Write(w io.Writer, f *FA) error {
+	bw := bufio.NewWriter(w)
+	name := f.name
+	if strings.ContainsAny(name, "\n") {
+		return fmt.Errorf("fa: name %q contains newline", name)
+	}
+	fmt.Fprintf(bw, "fa %s\n", name)
+	fmt.Fprintf(bw, "states %d\n", f.numStates)
+	fmt.Fprint(bw, "start")
+	for _, s := range f.StartStates() {
+		fmt.Fprintf(bw, " %d", int(s))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, "accept")
+	for _, s := range f.AcceptStates() {
+		fmt.Fprintf(bw, " %d", int(s))
+	}
+	fmt.Fprintln(bw)
+	for _, t := range f.trans {
+		fmt.Fprintf(bw, "edge %d %d %s\n", int(t.From), int(t.To), t.Label)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses one automaton from r.
+func Read(r io.Reader) (*FA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		b       *Builder
+		states  int
+		haveEnd bool
+		lineno  int
+	)
+	parseStates := func(fields []string) ([]State, error) {
+		out := make([]State, 0, len(fields))
+		for _, fstr := range fields {
+			n, err := strconv.Atoi(fstr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, State(n))
+		}
+		return out, nil
+	}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if haveEnd {
+			return nil, fmt.Errorf("fa: line %d: content after end", lineno)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "fa":
+			if b != nil {
+				return nil, fmt.Errorf("fa: line %d: nested fa record", lineno)
+			}
+			name := ""
+			if len(fields) > 1 {
+				name = strings.TrimSpace(strings.TrimPrefix(line, "fa"))
+			}
+			b = NewBuilder(name)
+		case "states":
+			if b == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("fa: line %d: bad states line", lineno)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fa: line %d: bad state count %q", lineno, fields[1])
+			}
+			states = n
+			b.States(n)
+		case "start":
+			if b == nil {
+				return nil, fmt.Errorf("fa: line %d: start outside record", lineno)
+			}
+			ss, err := parseStates(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+			}
+			b.Start(ss...)
+		case "accept":
+			if b == nil {
+				return nil, fmt.Errorf("fa: line %d: accept outside record", lineno)
+			}
+			ss, err := parseStates(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+			}
+			b.Accept(ss...)
+		case "edge":
+			if b == nil || len(fields) < 4 {
+				return nil, fmt.Errorf("fa: line %d: bad edge line", lineno)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "edge"))
+			fromTok, rest := nextToken(rest)
+			toTok, labelText := nextToken(rest)
+			from, err1 := strconv.Atoi(fromTok)
+			to, err2 := strconv.Atoi(toTok)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("fa: line %d: bad edge endpoints", lineno)
+			}
+			label, err := event.Parse(labelText)
+			if err != nil {
+				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+			}
+			b.Edge(State(from), label, State(to))
+		case "end":
+			if b == nil {
+				return nil, fmt.Errorf("fa: line %d: end outside record", lineno)
+			}
+			haveEnd = true
+		default:
+			return nil, fmt.Errorf("fa: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("fa: no automaton in input")
+	}
+	if !haveEnd {
+		return nil, fmt.Errorf("fa: missing end")
+	}
+	_ = states
+	return b.Build()
+}
+
+// nextToken splits off the first whitespace-delimited token and returns it
+// with the trimmed remainder.
+func nextToken(s string) (tok, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}

@@ -1,0 +1,169 @@
+package fa
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/trace"
+)
+
+// Accepts reports whether some run of the automaton accepts the trace.
+func (f *FA) Accepts(t trace.Trace) bool {
+	cur := f.start.Clone()
+	for _, e := range t.Events {
+		next := bitset.New(f.numStates)
+		cur.Range(func(s int) bool {
+			for _, ti := range f.matching(State(s), e) {
+				next.Add(int(f.trans[ti].To))
+			}
+			return true
+		})
+		cur = next
+		if cur.Empty() {
+			return false
+		}
+	}
+	return cur.Intersects(f.accept)
+}
+
+// RejectsAt returns the index of the first event at which every run of the
+// automaton is dead (no matching transition from any reachable state), or
+// len(t.Events) if the trace runs to completion but ends in no accepting
+// state, or -1 if the trace is accepted. Verifiers use this to report where
+// a violation manifests.
+func (f *FA) RejectsAt(t trace.Trace) int {
+	cur := f.start.Clone()
+	for i, e := range t.Events {
+		next := bitset.New(f.numStates)
+		cur.Range(func(s int) bool {
+			for _, ti := range f.matching(State(s), e) {
+				next.Add(int(f.trans[ti].To))
+			}
+			return true
+		})
+		if next.Empty() {
+			return i
+		}
+		cur = next
+	}
+	if cur.Intersects(f.accept) {
+		return -1
+	}
+	return len(t.Events)
+}
+
+// Executed returns the set of transition indices that lie on at least one
+// accepting run of the automaton on the trace — the relation R of Section
+// 3.2: (o, a) ∈ R iff transition a can be executed while accepting o.
+//
+// If the trace is not accepted, the returned set is empty and ok is false.
+//
+// The computation is the standard forward/backward product: F[i] is the set
+// of states reachable from a start state by consuming t[0:i], B[i] the set of
+// states from which t[i:] can reach acceptance; transition (p --e--> q) is
+// executed iff for some i with label match at t[i], p ∈ F[i] and q ∈ B[i+1].
+func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
+	n := len(t.Events)
+	fwd := make([]*bitset.Set, n+1)
+	fwd[0] = f.start.Clone()
+	for i, e := range t.Events {
+		next := bitset.New(f.numStates)
+		fwd[i].Range(func(s int) bool {
+			for _, ti := range f.matching(State(s), e) {
+				next.Add(int(f.trans[ti].To))
+			}
+			return true
+		})
+		fwd[i+1] = next
+	}
+	executed = bitset.New(len(f.trans))
+	if !fwd[n].Intersects(f.accept) {
+		return executed, false
+	}
+	bwd := make([]*bitset.Set, n+1)
+	bwd[n] = bitset.Intersect(fwd[n], f.accept)
+	for i := n - 1; i >= 0; i-- {
+		e := t.Events[i]
+		prev := bitset.New(f.numStates)
+		key := e.String()
+		// A state p belongs in bwd[i] if it has a matching transition into
+		// bwd[i+1]; we scan transitions entering states of bwd[i+1].
+		bwd[i+1].Range(func(q int) bool {
+			for _, ti := range f.byTo[q] {
+				tr := f.trans[ti]
+				if IsWildcard(tr.Label) || tr.Label.String() == key {
+					prev.Add(int(tr.From))
+				}
+			}
+			return true
+		})
+		prev.IntersectWith(fwd[i])
+		bwd[i] = prev
+	}
+	for i, e := range t.Events {
+		key := e.String()
+		fwd[i].Range(func(p int) bool {
+			for _, ti := range f.byFrom[p] {
+				tr := f.trans[ti]
+				if (IsWildcard(tr.Label) || tr.Label.String() == key) && bwd[i+1].Has(int(tr.To)) {
+					executed.Add(ti)
+				}
+			}
+			return true
+		})
+	}
+	return executed, true
+}
+
+// AcceptingRun returns one accepting sequence of transition indices for the
+// trace, or nil if the trace is rejected. Used by summaries that want to
+// show a witness path.
+func (f *FA) AcceptingRun(t trace.Trace) []int {
+	n := len(t.Events)
+	fwd := make([]*bitset.Set, n+1)
+	fwd[0] = f.start.Clone()
+	for i, e := range t.Events {
+		next := bitset.New(f.numStates)
+		fwd[i].Range(func(s int) bool {
+			for _, ti := range f.matching(State(s), e) {
+				next.Add(int(f.trans[ti].To))
+			}
+			return true
+		})
+		fwd[i+1] = next
+	}
+	final := bitset.Intersect(fwd[n], f.accept)
+	if final.Empty() {
+		return nil
+	}
+	// Walk backwards choosing any predecessor.
+	run := make([]int, n)
+	target := State(final.Min())
+	for i := n - 1; i >= 0; i-- {
+		key := t.Events[i].String()
+		found := false
+		for _, ti := range f.byTo[target] {
+			tr := f.trans[ti]
+			if (IsWildcard(tr.Label) || tr.Label.String() == key) && fwd[i].Has(int(tr.From)) {
+				run[i] = ti
+				target = tr.From
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Unreachable given final was derived from fwd, but keep the
+			// invariant explicit.
+			return nil
+		}
+	}
+	return run
+}
+
+// AcceptsAll reports whether every trace in the slice is accepted.
+func (f *FA) AcceptsAll(traces []trace.Trace) bool {
+	for _, t := range traces {
+		if !f.Accepts(t) {
+			return false
+		}
+	}
+	return true
+}

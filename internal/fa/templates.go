@@ -1,0 +1,86 @@
+package fa
+
+import (
+	"repro/internal/event"
+)
+
+// This file implements the three Focus templates of Section 4.1. Each
+// template produces a reference FA used to re-cluster the traces of a mixed
+// concept:
+//
+//   - Unordered distinguishes traces only by which events occur, ignoring
+//     order entirely: (event0 | event1 | ... | eventN)*.
+//   - NameProjection distinguishes traces by the events that mention a
+//     single name X, with a wildcard absorbing everything else:
+//     (event0(..X..) | ... | eventN(..X..) | wildcard)*.
+//   - SeedOrder distinguishes traces by which events occur before versus
+//     after a designated seed event:
+//     (event0|...|eventN)* ; seed ; (event0|...|eventN)*.
+
+// Unordered returns the unordered template over the alphabet: one accepting
+// start state with a self-loop per event. Every trace over the alphabet is
+// accepted, and a trace executes exactly the loops of the events it contains,
+// so the induced concept lattice clusters traces by event occurrence.
+func Unordered(alphabet []event.Event) *FA {
+	b := NewBuilder("unordered")
+	s := b.State()
+	b.Start(s)
+	b.Accept(s)
+	for _, e := range alphabet {
+		b.Edge(s, e, s)
+	}
+	return b.MustBuild()
+}
+
+// NameProjection returns the name-projection template for the given name:
+// self-loops for each alphabet event that mentions the name, plus a wildcard
+// self-loop matching all other events. Traces are distinguished only by
+// which name-relevant events they contain. The alphabet is typically the
+// label set of an inferred FA that mentions several names; projecting lets
+// the user check correctness with respect to one name at a time.
+func NameProjection(alphabet []event.Event, name string) *FA {
+	b := NewBuilder("project:" + name)
+	s := b.State()
+	b.Start(s)
+	b.Accept(s)
+	for _, e := range alphabet {
+		if e.Mentions(name) {
+			b.Edge(s, e, s)
+		}
+	}
+	b.WildcardEdge(s, s)
+	return b.MustBuild()
+}
+
+// SeedOrder returns the seed-order template: traces must contain the seed
+// event, and the template distinguishes events occurring before the first
+// seed from events occurring after it. Non-seed alphabet events self-loop on
+// both sides; the seed moves from the "before" state to the "after" state,
+// where it may also recur. Ordering is tracked only relative to the seed, so
+// the induced lattice stays small (Section 4.1).
+func SeedOrder(alphabet []event.Event, seed event.Event) *FA {
+	b := NewBuilder("seed:" + seed.String())
+	before := b.State()
+	after := b.State()
+	b.Start(before)
+	b.Accept(after)
+	seedKey := seed.String()
+	for _, e := range alphabet {
+		if e.String() == seedKey {
+			continue
+		}
+		b.Edge(before, e, before)
+		b.Edge(after, e, after)
+	}
+	b.Edge(before, seed, after)
+	b.Edge(after, seed, after)
+	return b.MustBuild()
+}
+
+// FromTraces returns the coarsest useful reference FA for a trace set: the
+// unordered template over the set's alphabet. Step 1a of the method notes
+// that "a great FA learning algorithm is not essential; we have had success
+// with FAs that recognize all possible traces" — this is that FA.
+func FromTraces(alphabet []event.Event) *FA {
+	return Unordered(alphabet).WithName("all-traces")
+}

@@ -1,0 +1,52 @@
+package learn
+
+import (
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// MustLearn is Learn that panics on error; learner errors can only arise
+// from internal invariant violations, so examples and summaries use this
+// form.
+func (l Learner) MustLearn(name string, traces []trace.Trace) *Result {
+	r, err := l.Learn(name, traces)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Core drops every transition whose training frequency is below minCount
+// and trims the result. This is "coring", the naive mechanism for removing
+// errors from mined specifications that the paper's earlier work used and
+// that concept-analysis debugging replaces: erroneous traces are assumed to
+// be rare, so rarely-exercised transitions are assumed to be errors. The
+// paper notes its flaw — "some buggy traces occurred so frequently that
+// suppressing them would also suppress valid traces" — which the XtFree-style
+// workloads in internal/xtrace reproduce.
+func Core(r *Result, minCount int) *fa.FA {
+	f := r.FA
+	b := fa.NewBuilder(f.Name() + "-cored")
+	b.States(f.NumStates())
+	for _, s := range f.StartStates() {
+		b.Start(s)
+	}
+	for _, s := range f.AcceptStates() {
+		b.Accept(s)
+	}
+	for i, t := range f.Transitions() {
+		if r.TransCount[i] >= minCount {
+			b.Edge(t.From, t.Label, t.To)
+		}
+	}
+	return b.MustBuild().Trim()
+}
+
+// PTA returns the prefix-tree acceptor of the traces as an automaton with
+// frequencies, without any merging: the maximally specific FA that accepts
+// exactly the training multiset's underlying set. Summaries use it when the
+// user asks for an exact view, and tests use it as the no-generalization
+// baseline.
+func PTA(name string, traces []trace.Trace) (*Result, error) {
+	return buildPTA(traces).freeze(name)
+}

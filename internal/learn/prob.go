@@ -1,0 +1,88 @@
+package learn
+
+import (
+	"math"
+
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// This file gives learned automata their stochastic reading: the sk-strings
+// method treats an FA as a probabilistic model in which each state's next
+// move (an outgoing transition or stopping) is drawn in proportion to its
+// training frequency. The probability of a trace is the product of its
+// move probabilities; internal/rank uses it to order violation reports by
+// surprise.
+
+// Probability returns the probability of the trace under the stochastic
+// reading of the learned automaton, and ok=false if the trace leaves the
+// automaton (probability zero). The learned FA is deterministic, so the
+// trace has at most one run.
+func (r *Result) Probability(t trace.Trace) (float64, bool) {
+	starts := r.FA.StartStates()
+	if len(starts) != 1 {
+		return 0, false
+	}
+	// Index transitions by (state, label).
+	next := r.transIndex()
+	p := 1.0
+	cur := starts[0]
+	for _, e := range t.Events {
+		ti, ok := next[stateLabel{cur, e.String()}]
+		if !ok {
+			return 0, false
+		}
+		total := r.outWeight(cur)
+		if total == 0 {
+			return 0, false
+		}
+		p *= float64(r.TransCount[ti]) / float64(total)
+		cur = r.FA.Transition(ti).To
+	}
+	end := r.AcceptCount[cur]
+	if end == 0 {
+		return 0, false
+	}
+	total := r.outWeight(cur)
+	if total == 0 {
+		return 0, false
+	}
+	return p * float64(end) / float64(total), true
+}
+
+// SurprisePerEvent returns the per-event negative log2-likelihood of the
+// trace — a length-normalized anomaly score. Traces outside the model get
+// ok=false; callers typically treat those as maximally surprising.
+func (r *Result) SurprisePerEvent(t trace.Trace) (float64, bool) {
+	p, ok := r.Probability(t)
+	if !ok || p <= 0 {
+		return math.Inf(1), false
+	}
+	n := float64(t.Len() + 1) // +1 for the stopping decision
+	return -math.Log2(p) / n, true
+}
+
+type stateLabel struct {
+	state fa.State
+	label string
+}
+
+func (r *Result) transIndex() map[stateLabel]int {
+	idx := make(map[stateLabel]int, r.FA.NumTransitions())
+	for i, tr := range r.FA.Transitions() {
+		idx[stateLabel{tr.From, tr.Label.String()}] = i
+	}
+	return idx
+}
+
+// outWeight is the total outgoing weight of a state: transition counts
+// plus the stop count.
+func (r *Result) outWeight(s fa.State) int {
+	total := r.AcceptCount[s]
+	for i, tr := range r.FA.Transitions() {
+		if tr.From == s {
+			total += r.TransCount[i]
+		}
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestProbabilityPTA(t *testing.T) {
+	// 3 traces: a;b (x2) and a;c (x1). Under the PTA: P(a;b) = 2/3,
+	// P(a;c) = 1/3.
+	traces := []trace.Trace{
+		tr("a()", "b()"),
+		tr("a()", "b()"),
+		tr("a()", "c()"),
+	}
+	res, err := PTA("p", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := res.Probability(tr("a()", "b()"))
+	if !ok || math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("P(a;b) = %v, %v; want 2/3", p, ok)
+	}
+	p, ok = res.Probability(tr("a()", "c()"))
+	if !ok || math.Abs(p-1.0/3.0) > 1e-12 {
+		t.Errorf("P(a;c) = %v, %v; want 1/3", p, ok)
+	}
+	if _, ok := res.Probability(tr("a()")); ok {
+		t.Error("prefix has nonzero stop probability in PTA without endings there")
+	}
+	if _, ok := res.Probability(tr("z()")); ok {
+		t.Error("out-of-model trace has probability")
+	}
+}
+
+func TestProbabilitiesSumOverTrainingSupport(t *testing.T) {
+	// Summing P over the distinct training traces of a PTA gives exactly 1
+	// (the stochastic automaton's mass is concentrated on the multiset).
+	traces := []trace.Trace{
+		tr("a()"),
+		tr("a()", "b()"),
+		tr("a()", "b()"),
+		tr("c()"),
+	}
+	res, err := PTA("sum", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]trace.Trace{}
+	for _, tc := range traces {
+		distinct[tc.Key()] = tc
+	}
+	sum := 0.0
+	for _, tc := range distinct {
+		p, ok := res.Probability(tc)
+		if !ok {
+			t.Fatalf("training trace %q outside model", tc.Key())
+		}
+		sum += p
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("training support mass = %v, want 1", sum)
+	}
+}
+
+func TestProbabilityAfterMerging(t *testing.T) {
+	// Merged automata still assign every training trace positive mass.
+	traces := figure8()
+	res := DefaultLearner.MustLearn("m", traces)
+	for _, tc := range traces {
+		p, ok := res.Probability(tc)
+		if !ok || p <= 0 || p > 1 {
+			t.Errorf("P(%q) = %v, %v", tc.Key(), p, ok)
+		}
+	}
+}
+
+func TestSurprisePerEvent(t *testing.T) {
+	traces := []trace.Trace{
+		tr("a()", "b()"), tr("a()", "b()"), tr("a()", "b()"),
+		tr("a()", "c()"),
+	}
+	res, err := PTA("s", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, ok1 := res.SurprisePerEvent(tr("a()", "b()"))
+	rare, ok2 := res.SurprisePerEvent(tr("a()", "c()"))
+	if !ok1 || !ok2 {
+		t.Fatal("training traces outside model")
+	}
+	if rare <= common {
+		t.Errorf("rare trace surprise %v not above common %v", rare, common)
+	}
+	if s, ok := res.SurprisePerEvent(tr("z()")); ok || !math.IsInf(s, 1) {
+		t.Errorf("out-of-model surprise = %v, %v", s, ok)
+	}
+}

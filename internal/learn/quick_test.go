@@ -1,0 +1,115 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func tracesFromSeed(seed int64) []trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []string{"a()", "b()", "c()", "d()"}
+	n := 1 + rng.Intn(12)
+	out := make([]trace.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		var evs []string
+		for j := 0; j < rng.Intn(6); j++ {
+			evs = append(evs, ops[rng.Intn(len(ops))])
+		}
+		out = append(out, tr(evs...))
+	}
+	return out
+}
+
+// Property: every learner accepts its training set and outputs a
+// deterministic automaton — for sk-strings (AND and OR), k-tails, and the
+// raw PTA.
+func TestQuickLearnersAcceptTraining(t *testing.T) {
+	learners := map[string]func([]trace.Trace) (*Result, error){
+		"sk-AND": func(ts []trace.Trace) (*Result, error) {
+			return Learner{K: 2, S: 0.5, Agreement: And}.Learn("x", ts)
+		},
+		"sk-OR": func(ts []trace.Trace) (*Result, error) {
+			return Learner{K: 2, S: 0.5, Agreement: Or}.Learn("x", ts)
+		},
+		"ktails": func(ts []trace.Trace) (*Result, error) {
+			return KTails{K: 2}.Learn("x", ts)
+		},
+		"pta": func(ts []trace.Trace) (*Result, error) {
+			return PTA("x", ts)
+		},
+	}
+	for name, learn := range learners {
+		err := quick.Check(func(seed int64) bool {
+			traces := tracesFromSeed(seed)
+			res, err := learn(traces)
+			if err != nil {
+				return false
+			}
+			if !res.FA.IsDeterministic() {
+				return false
+			}
+			for _, tc := range traces {
+				if !res.FA.Accepts(tc) {
+					return false
+				}
+			}
+			return true
+		}, &quick.Config{MaxCount: 80})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: the stochastic reading assigns every training trace positive
+// probability, and probability never exceeds 1.
+func TestQuickProbabilityBounds(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		traces := tracesFromSeed(seed)
+		res, err := DefaultLearner.Learn("x", traces)
+		if err != nil {
+			return false
+		}
+		for _, tc := range traces {
+			p, ok := res.Probability(tc)
+			if !ok || p <= 0 || p > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coring never grows the language, and threshold 0/1 keeps every
+// training trace.
+func TestQuickCoringMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64, threshold uint8) bool {
+		traces := tracesFromSeed(seed)
+		res, err := PTA("x", traces)
+		if err != nil {
+			return false
+		}
+		cored := Core(res, int(threshold%5))
+		for _, tc := range cored.Enumerate(6, 100) {
+			if !res.FA.Accepts(tc) {
+				return false // coring invented behaviour
+			}
+		}
+		keepAll := Core(res, 1)
+		for _, tc := range traces {
+			if !keepAll.Accepts(tc) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package learn
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Agreement selects how two states' top k-string sets must relate for the
+// states to be merged (the AND/OR variants of Raman and Patrick).
+type Agreement int
+
+const (
+	// And merges two states only if each state's top s-fraction of
+	// k-strings is a subset of the other state's k-strings.
+	And Agreement = iota
+	// Or merges two states if either state's top k-strings are a subset of
+	// the other's k-strings.
+	Or
+)
+
+// Learner configures the sk-strings method. The zero value is not useful;
+// start from DefaultLearner.
+type Learner struct {
+	// K is the maximum k-string length considered when comparing states.
+	K int
+	// S is the fraction of probability mass (0 < S ≤ 1) that a state's
+	// "top" k-strings must cover.
+	S float64
+	// Agreement is the merge criterion.
+	Agreement Agreement
+	// MaxMerges caps the number of merges (0 = unlimited); raising K and S
+	// lowers merging, giving a larger FA that makes finer distinctions
+	// among traces — the knob Section 2.1 describes for varying the
+	// reference FA.
+	MaxMerges int
+}
+
+// DefaultLearner is the configuration used by Strauss and Cable summaries:
+// 2-strings covering half the probability mass, AND agreement.
+var DefaultLearner = Learner{K: 2, S: 0.5, Agreement: And}
+
+// endMark terminates k-strings of traces that end before k events; it
+// cannot collide with an event rendering because event operations cannot be
+// empty.
+const endMark = "$"
+
+// kstring is a bounded-length suffix string with its probability.
+type kstring struct {
+	key  string
+	prob float64
+}
+
+// Learn builds the prefix-tree acceptor of the traces and merges states per
+// the sk-strings criterion, returning the learned automaton with
+// frequencies. An empty trace set yields a single-state automaton accepting
+// nothing.
+func (l Learner) Learn(name string, traces []trace.Trace) (*Result, error) {
+	if l.K <= 0 {
+		l.K = DefaultLearner.K
+	}
+	if l.S <= 0 || l.S > 1 {
+		l.S = DefaultLearner.S
+	}
+	p := buildPTA(traces)
+	merges := 0
+	for {
+		a, b := l.findMergeable(p)
+		if a < 0 {
+			break
+		}
+		p.merge(a, b)
+		merges++
+		if l.MaxMerges > 0 && merges >= l.MaxMerges {
+			break
+		}
+	}
+	return p.freeze(name)
+}
+
+// findMergeable scans state pairs in BFS order and returns the first pair
+// satisfying the agreement criterion, or (-1, -1).
+func (l Learner) findMergeable(p *pta) (int, int) {
+	order := p.states()
+	strs := make(map[int][]kstring, len(order))
+	for _, s := range order {
+		strs[s] = p.kstrings(s, l.K)
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if l.agree(strs[order[i]], strs[order[j]]) {
+				return order[i], order[j]
+			}
+		}
+	}
+	return -1, -1
+}
+
+// kstrings enumerates the strings of length ≤ k leaving state s with their
+// probabilities, sorted by probability descending (ties by key for
+// determinism). Strings of length < k end with the end marker; strings cut
+// off at length k do not.
+func (p *pta) kstrings(s int, k int) []kstring {
+	var out []kstring
+	var walk func(state int, depth int, prefix string, prob float64)
+	walk = func(state int, depth int, prefix string, prob float64) {
+		state = p.find(state)
+		total := p.outTotal(state)
+		if total == 0 {
+			// Dead state with no endings: contributes nothing.
+			return
+		}
+		n := p.nodes[state]
+		if n.end > 0 {
+			out = append(out, kstring{key: prefix + endMark, prob: prob * float64(n.end) / float64(total)})
+		}
+		if depth == k {
+			if len(n.out) > 0 {
+				// Remaining mass for strings truncated at depth k.
+				edgeMass := float64(total-n.end) / float64(total)
+				if prefix != "" {
+					out = append(out, kstring{key: prefix, prob: prob * edgeMass})
+				}
+			}
+			return
+		}
+		for _, key := range sortedKeys(n.out) {
+			e := n.out[key]
+			walk(e.to, depth+1, prefix+key+"\x00", prob*float64(e.count)/float64(total))
+		}
+	}
+	walk(s, 0, "", 1)
+	// Aggregate duplicates (merging can create repeated keys via different
+	// paths of equal rendering — not possible in a deterministic automaton,
+	// but keep the invariant robust).
+	agg := map[string]float64{}
+	for _, ks := range out {
+		agg[ks.key] += ks.prob
+	}
+	res := make([]kstring, 0, len(agg))
+	for key, prob := range agg {
+		res = append(res, kstring{key: key, prob: prob})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].prob != res[j].prob {
+			return res[i].prob > res[j].prob
+		}
+		return res[i].key < res[j].key
+	})
+	return res
+}
+
+// top returns the prefix of strs covering at least fraction s of the
+// probability mass.
+func top(strs []kstring, s float64) []kstring {
+	var mass, limit float64
+	for _, ks := range strs {
+		limit += ks.prob
+	}
+	limit *= s
+	for i, ks := range strs {
+		mass += ks.prob
+		if mass >= limit-1e-12 {
+			return strs[:i+1]
+		}
+	}
+	return strs
+}
+
+// agree applies the agreement criterion to two states' k-string
+// distributions.
+func (l Learner) agree(a, b []kstring) bool {
+	if len(a) == 0 || len(b) == 0 {
+		// A state with no k-strings (dead) agrees with nothing; merging it
+		// anywhere would be unconstrained generalization.
+		return false
+	}
+	inB := keySet(b)
+	inA := keySet(a)
+	aTop := top(a, l.S)
+	bTop := top(b, l.S)
+	aInB := covered(aTop, inB)
+	bInA := covered(bTop, inA)
+	if l.Agreement == Or {
+		return aInB || bInA
+	}
+	return aInB && bInA
+}
+
+func keySet(strs []kstring) map[string]bool {
+	m := make(map[string]bool, len(strs))
+	for _, ks := range strs {
+		m[ks.key] = true
+	}
+	return m
+}
+
+func covered(topStrs []kstring, in map[string]bool) bool {
+	for _, ks := range topStrs {
+		if !in[ks.key] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package mine_test
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mine"
+)
+
+// Example runs the Strauss pipeline of Figure 7 on one concrete execution
+// trace: the front end slices out per-object scenarios, the back end
+// learns a specification.
+func Example() {
+	run := mine.Run{
+		ID: "demo:run0",
+		Events: []event.Concrete{
+			{Op: "fopen", Def: 1},
+			{Op: "popen", Def: 2},
+			{Op: "fread", Uses: []event.ObjID{1}},
+			{Op: "fwrite", Uses: []event.ObjID{2}},
+			{Op: "fclose", Uses: []event.ObjID{1}},
+			{Op: "pclose", Uses: []event.ObjID{2}},
+		},
+	}
+	miner := mine.Miner{FrontEnd: mine.FrontEnd{Seeds: []string{"fopen", "popen"}}}
+	spec, scenarios, err := miner.Mine("demo", []mine.Run{run})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range scenarios.Classes() {
+		fmt.Println(c.Rep.Key())
+	}
+	fmt.Println("learned states:", spec.NumStates())
+	// Output:
+	// X = fopen(); fread(X); fclose(X)
+	// X = popen(); fwrite(X); pclose(X)
+	// learned states: 6
+}

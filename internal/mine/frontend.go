@@ -1,0 +1,127 @@
+// Package mine implements Strauss, the specification miner whose buggy
+// output Cable debugs (Section 2.2, Figure 7).
+//
+// Strauss has two halves. The front end extracts scenario traces from
+// whole-program execution traces: each occurrence of a seed operation opens
+// a scenario, and the events data-dependent on the seed's objects — events
+// touching the seed's result, or touching objects derived from it — are
+// collected into a short symbolic trace with object identities renamed to
+// canonical variables. The back end learns a specification FA from the
+// scenario multiset with the sk-strings learner (internal/learn), optionally
+// cored. If some runs contain errors, some scenario traces are erroneous
+// and the learned FA accepts erroneous traces — the debugging problem the
+// rest of the repository solves.
+package mine
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// canonicalNames are assigned to a scenario's objects in first-appearance
+// order; scenarios touching more objects continue with N7, N8, ...
+var canonicalNames = []string{"X", "Y", "Z", "W", "V", "U", "T"}
+
+// FrontEnd extracts scenario traces from whole-program traces.
+type FrontEnd struct {
+	// Seeds lists the operation names whose occurrences open scenarios; an
+	// event is a seed occurrence if its operation matches and it defines an
+	// object.
+	Seeds []string
+	// FollowDerived extends a scenario's object set with objects defined by
+	// events that use a scenario object (transitive data flow from the
+	// seed). Without it a scenario follows only the seed's own objects.
+	FollowDerived bool
+	// MaxEvents caps the length of a scenario trace (0 = unlimited); the
+	// paper's scenarios are short, "usually less than ten events long".
+	MaxEvents int
+}
+
+// Run is one whole-program execution trace.
+type Run struct {
+	// ID names the run (program and invocation).
+	ID string
+	// Events is the concrete event sequence.
+	Events []event.Concrete
+}
+
+// Extract returns the scenario traces of all seed occurrences in the run,
+// in occurrence order. Scenario IDs are "<runID>#<n>".
+func (fe FrontEnd) Extract(run Run) []trace.Trace {
+	seedOps := map[string]bool{}
+	for _, s := range fe.Seeds {
+		seedOps[s] = true
+	}
+	var out []trace.Trace
+	for i, e := range run.Events {
+		if !seedOps[e.Op] || e.Def == 0 {
+			continue
+		}
+		id := fmt.Sprintf("%s#%d", run.ID, len(out))
+		out = append(out, fe.scenario(run, i, id))
+	}
+	return out
+}
+
+// scenario slices the events data-dependent on the seed at index start.
+func (fe FrontEnd) scenario(run Run, start int, id string) trace.Trace {
+	tracked := map[event.ObjID]bool{run.Events[start].Def: true}
+	names := map[event.ObjID]string{}
+	nextName := 0
+	name := func(obj event.ObjID) {
+		if _, ok := names[obj]; ok {
+			return
+		}
+		if nextName < len(canonicalNames) {
+			names[obj] = canonicalNames[nextName]
+		} else {
+			names[obj] = fmt.Sprintf("N%d", nextName)
+		}
+		nextName++
+	}
+	var events []event.Event
+	for i := start; i < len(run.Events); i++ {
+		e := run.Events[i]
+		relevant := false
+		for obj := range tracked {
+			if e.Touches(obj) {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		if fe.FollowDerived && e.Def != 0 {
+			tracked[e.Def] = true
+		}
+		// Name every tracked object this event touches, in the event's own
+		// object order so the first scenario object becomes X.
+		for _, obj := range e.Objects() {
+			if tracked[obj] {
+				name(obj)
+			}
+		}
+		// Untracked objects abstract to "_" via Abstract's default.
+		events = append(events, e.Abstract(names))
+		if fe.MaxEvents > 0 && len(events) >= fe.MaxEvents {
+			break
+		}
+	}
+	return trace.Trace{ID: id, Events: events}
+}
+
+// ExtractAll runs the front end over several runs, collecting scenarios
+// into a set (classes of identical scenarios are the objects later passed
+// to concept analysis).
+func (fe FrontEnd) ExtractAll(runs []Run) *trace.Set {
+	set := &trace.Set{}
+	for _, run := range runs {
+		for _, sc := range fe.Extract(run) {
+			set.Add(sc)
+		}
+	}
+	return set
+}

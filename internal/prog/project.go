@@ -1,0 +1,120 @@
+package prog
+
+import (
+	"sort"
+)
+
+// Specifications are per-object ("For all calls X = fopen() ..."), but a
+// compiled program automaton describes whole-program behaviour with every
+// object's events interleaved. Project slices the program to one
+// variable's protocol — the static analogue of the Strauss front end's
+// scenario extraction — so each object's behaviour can be checked against
+// the specification separately.
+
+// Vars returns the variables assigned anywhere in the program, sorted.
+// Each variable is assumed to be assigned once (one object per variable);
+// programs meeting that discipline project faithfully.
+func (p *Program) Vars() []string {
+	seen := map[string]bool{}
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case Call:
+				if s.Def != "" {
+					seen[s.Def] = true
+				}
+			case Loop:
+				walk(s.Body)
+			case Opt:
+				walk(s.Body)
+			case Choice:
+				for _, alt := range s.Alts {
+					walk(alt)
+				}
+			}
+		}
+	}
+	walk(p.Body)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Project returns the program restricted to the calls mentioning the
+// variable, with that variable renamed to the specification's canonical
+// "X" and any other variables in kept calls renamed to "_". Control
+// structure is preserved so the projection's language is exactly the
+// variable's possible event sequences.
+func (p *Program) Project(v string) *Program {
+	return &Program{
+		Name: p.Name + ":" + v,
+		Body: projectStmts(p.Body, v),
+	}
+}
+
+func projectStmts(stmts []Stmt, v string) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Call:
+			if !mentions(s, v) {
+				continue
+			}
+			c := Call{Op: s.Op, Def: renameVar(s.Def, v)}
+			for _, u := range s.Uses {
+				c.Uses = append(c.Uses, renameVar(u, v))
+			}
+			out = append(out, c)
+		case Skip:
+		case Loop:
+			if body := projectStmts(s.Body, v); len(body) > 0 {
+				out = append(out, Loop{Body: body})
+			}
+		case Opt:
+			if body := projectStmts(s.Body, v); len(body) > 0 {
+				out = append(out, Opt{Body: body})
+			}
+		case Choice:
+			var alts [][]Stmt
+			nonEmpty := false
+			for _, alt := range s.Alts {
+				pa := projectStmts(alt, v)
+				if len(pa) > 0 {
+					nonEmpty = true
+				}
+				alts = append(alts, pa)
+			}
+			if nonEmpty {
+				out = append(out, Choice{Alts: alts})
+			}
+		}
+	}
+	return out
+}
+
+func mentions(c Call, v string) bool {
+	if c.Def == v {
+		return true
+	}
+	for _, u := range c.Uses {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func renameVar(name, v string) string {
+	switch name {
+	case "":
+		return ""
+	case v:
+		return "X"
+	default:
+		return "_"
+	}
+}

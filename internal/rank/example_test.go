@@ -1,0 +1,33 @@
+package rank_test
+
+import (
+	"fmt"
+
+	"repro/internal/rank"
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// Example ranks the violations of the buggy Figure 1 specification: the
+// rare genuine leak outranks the common popen/pclose pairs that merely
+// expose a specification gap.
+func Example() {
+	corpus := &trace.Set{}
+	for i := 0; i < 20; i++ {
+		corpus.Add(trace.ParseEvents("", "X = popen()", "pclose(X)"))
+	}
+	corpus.Add(trace.ParseEvents("", "X = fopen()", "fread(X)")) // rare leak
+
+	ranker, err := rank.New(corpus)
+	if err != nil {
+		panic(err)
+	}
+	_, violations := verify.CheckSet(specs.FigureOneFA(), corpus)
+	for i, rep := range ranker.Rank(violations) {
+		fmt.Printf("#%d x%d %s\n", i+1, rep.Count, rep.Trace.Key())
+	}
+	// Output:
+	// #1 x1 X = fopen(); fread(X)
+	// #2 x20 X = popen(); pclose(X)
+}

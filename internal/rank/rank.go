@@ -1,0 +1,98 @@
+// Package rank orders violation reports so that likely-real, severe bugs
+// surface first. The paper's related-work section positions ranking (as in
+// Xgcc and PREfix) as complementary to concept-analysis clustering:
+// "ranking tells the user what reports to inspect first, while clustering
+// helps the user avoid inspecting redundant reports." This package supplies
+// the ranking half.
+//
+// Reports are scored by statistical surprise under a stochastic FA learned
+// from the full scenario multiset: a violating trace whose behaviour is
+// rare in the corpus is more likely a real (and interesting) bug than one
+// matching a common pattern, which more often indicates a specification
+// gap. Frequency and trace length break ties deterministically.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/learn"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// Report is one ranked violation class.
+type Report struct {
+	// Trace is the class representative.
+	Trace trace.Trace
+	// Count is how many identical violations were reported.
+	Count int
+	// At is the event index where the violation manifests.
+	At int
+	// Surprise is the per-event negative log2-likelihood of the trace
+	// under the corpus model; +Inf when the trace falls outside the model.
+	Surprise float64
+}
+
+// Ranker scores violations against a corpus of scenario traces.
+type Ranker struct {
+	model *learn.Result
+}
+
+// New learns the corpus model used for scoring. The corpus should be the
+// full scenario multiset (violating and conforming alike), so common
+// behaviour is cheap and rare behaviour expensive.
+func New(corpus *trace.Set) (*Ranker, error) {
+	var all []trace.Trace
+	for _, c := range corpus.Classes() {
+		for j := 0; j < c.Count; j++ {
+			all = append(all, c.Rep)
+		}
+	}
+	model, err := learn.DefaultLearner.Learn("rank-model", all)
+	if err != nil {
+		return nil, err
+	}
+	return &Ranker{model: model}, nil
+}
+
+// Rank groups the violations into classes and orders them most-suspicious
+// first: descending surprise, then ascending frequency (rarer first), then
+// shorter traces, then lexicographic key for determinism.
+func (r *Ranker) Rank(violations []verify.Violation) []Report {
+	byKey := map[string]*Report{}
+	var order []string
+	for _, v := range violations {
+		key := v.Trace.Key()
+		rep, ok := byKey[key]
+		if !ok {
+			surprise, okp := r.model.SurprisePerEvent(v.Trace)
+			if !okp {
+				surprise = math.Inf(1)
+			}
+			rep = &Report{Trace: v.Trace, At: v.At, Surprise: surprise}
+			byKey[key] = rep
+			order = append(order, key)
+		}
+		rep.Count++
+	}
+	out := make([]Report, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Surprise != b.Surprise:
+			// Handle +Inf consistently: more surprising first.
+			return a.Surprise > b.Surprise
+		case a.Count != b.Count:
+			return a.Count < b.Count
+		case a.Trace.Len() != b.Trace.Len():
+			return a.Trace.Len() < b.Trace.Len()
+		default:
+			return a.Trace.Key() < b.Trace.Key()
+		}
+	})
+	return out
+}

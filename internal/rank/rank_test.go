@@ -1,0 +1,113 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/specs"
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/xtrace"
+)
+
+func TestRankSurprisingFirst(t *testing.T) {
+	// Corpus: many popen/pclose pairs (a spec gap, common), one leak
+	// (a real bug, rare). Against the Figure 1 spec, both violate; the
+	// rare leak must rank above the common pair.
+	corpus := &trace.Set{}
+	for i := 0; i < 30; i++ {
+		corpus.Add(trace.ParseEvents("", "X = popen()", "pclose(X)"))
+		corpus.Add(trace.ParseEvents("", "X = fopen()", "fclose(X)"))
+	}
+	corpus.Add(trace.ParseEvents("", "X = fopen()", "fread(X)")) // rare leak
+
+	r, err := New(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, violations := verify.CheckSet(specs.FigureOneFA(), corpus)
+	reports := r.Rank(violations)
+	if len(reports) != 2 {
+		t.Fatalf("%d report classes, want 2", len(reports))
+	}
+	if reports[0].Trace.Key() != "X = fopen(); fread(X)" {
+		t.Errorf("top report = %q, want the rare leak", reports[0].Trace.Key())
+	}
+	if reports[0].Surprise <= reports[1].Surprise {
+		t.Errorf("surprise ordering wrong: %v vs %v", reports[0].Surprise, reports[1].Surprise)
+	}
+	if reports[1].Count != 30 {
+		t.Errorf("common violation count = %d", reports[1].Count)
+	}
+}
+
+func TestRankOutOfModelIsMostSurprising(t *testing.T) {
+	corpus := trace.NewSet(
+		trace.ParseEvents("", "a()", "b()"),
+		trace.ParseEvents("", "a()", "b()"),
+	)
+	r, err := New(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A violation whose trace never occurred in the corpus model.
+	alien := verify.Violation{Trace: trace.ParseEvents("", "z()"), At: 0}
+	inModel := verify.Violation{Trace: trace.ParseEvents("", "a()", "b()"), At: 2}
+	reports := r.Rank([]verify.Violation{inModel, alien})
+	if reports[0].Trace.Key() != "z()" || !math.IsInf(reports[0].Surprise, 1) {
+		t.Errorf("alien trace not first: %+v", reports)
+	}
+}
+
+func TestRankDeterministicTieBreaks(t *testing.T) {
+	corpus := trace.NewSet(
+		trace.ParseEvents("", "a()"),
+		trace.ParseEvents("", "b()"),
+	)
+	r, err := New(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []verify.Violation{
+		{Trace: trace.ParseEvents("", "b()")},
+		{Trace: trace.ParseEvents("", "a()")},
+	}
+	r1 := r.Rank(vs)
+	r2 := r.Rank([]verify.Violation{vs[1], vs[0]})
+	if r1[0].Trace.Key() != r2[0].Trace.Key() {
+		t.Error("ranking depends on input order")
+	}
+}
+
+func TestRankOnWorkload(t *testing.T) {
+	// On a realistic workload, the top-ranked violations of the buggy spec
+	// skew toward genuine errors (ground-truth bad traces), since correct-
+	// but-rejected popen traces are common in the corpus.
+	stdio := specs.Stdio()
+	gen := xtrace.Generator{Model: stdio.Model, Seed: 11}
+	corpus, truth := gen.ScenarioSet(300)
+	r, err := New(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, violations := verify.CheckSet(specs.FigureOneFA(), corpus)
+	reports := r.Rank(violations)
+	if len(reports) < 4 {
+		t.Fatalf("only %d report classes", len(reports))
+	}
+	// Count ground-truth bugs in the top half vs bottom half.
+	half := len(reports) / 2
+	topBad, botBad := 0, 0
+	for i, rep := range reports {
+		if !truth[rep.Trace.Key()] {
+			if i < half {
+				topBad++
+			} else {
+				botBad++
+			}
+		}
+	}
+	if topBad < botBad {
+		t.Errorf("ranking buried the real bugs: top %d vs bottom %d", topBad, botBad)
+	}
+}

@@ -1,0 +1,437 @@
+package specs
+
+import "repro/internal/xtrace"
+
+// All returns the seventeen X11/Xt specifications of Table 1, in the order
+// the evaluation tables list them (roughly by workload size).
+func All() []Spec {
+	return []Spec{
+		xGetSelOwner(),
+		prsTransTbl(),
+		rmvTimeOut(),
+		quarks(),
+		xSetSelOwner(),
+		xtOwnSel(),
+		xInternAtom(),
+		prsAccelTbl(),
+		xOpenDisplay(),
+		xCreatePixmap(),
+		xtAddInput(),
+		regionsAlloc(),
+		xFreeGC(),
+		xPutImage(),
+		xSetFont(),
+		regionsBig(),
+		xtFree(),
+	}
+}
+
+// ByName returns the named spec from All() or Stdio().
+func ByName(name string) (Spec, bool) {
+	if name == "Stdio" {
+		return Stdio(), true
+	}
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+func xGetSelOwner() Spec {
+	return mustSpec("XGetSelOwner",
+		"The owner window returned by XGetSelectionOwner must be checked against None before it is used.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 9, Events: []xtrace.Event{
+					xtrace.Ev("X = XGetSelectionOwner()"),
+					xtrace.Ev("CheckNone(X)"),
+					xtrace.Rep("UseOwner(X)", 0, 2),
+				}},
+				{Name: "unchecked-use", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XGetSelectionOwner()"),
+					xtrace.Rep("UseOwner(X)", 1, 2),
+				}},
+			},
+			Noise: []string{"XFlush()"},
+		})
+}
+
+func prsTransTbl() Spec {
+	return mustSpec("PrsTransTbl",
+		"A table parsed by XtParseTranslationTable must be installed with XtAugmentTranslations or XtOverrideTranslations.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "augment", Good: true, Weight: 6, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseTranslationTable()"),
+					xtrace.Ev("XtAugmentTranslations(X)"),
+				}},
+				{Name: "override", Good: true, Weight: 4, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseTranslationTable()"),
+					xtrace.Ev("XtOverrideTranslations(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseTranslationTable()"),
+				}},
+			},
+		})
+}
+
+func rmvTimeOut() Spec {
+	return mustSpec("RmvTimeOut",
+		"A timeout registered with XtAppAddTimeOut must not be removed after its callback has fired (potential race).",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "fires", Good: true, Weight: 6, Events: []xtrace.Event{
+					xtrace.Ev("X = XtAppAddTimeOut()"),
+					xtrace.Ev("TimeOutFires(X)"),
+				}},
+				{Name: "removed", Good: true, Weight: 3, Events: []xtrace.Event{
+					xtrace.Ev("X = XtAppAddTimeOut()"),
+					xtrace.Ev("XtRemoveTimeOut(X)"),
+				}},
+				{Name: "remove-after-fire", Good: false, Kind: xtrace.Race, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XtAppAddTimeOut()"),
+					xtrace.Ev("TimeOutFires(X)"),
+					xtrace.Ev("XtRemoveTimeOut(X)"),
+				}},
+			},
+		})
+}
+
+func quarks() Spec {
+	return mustSpec("Quarks",
+		"A quark obtained with XrmStringToQuark should be used; computing quarks that are never consulted wastes server round trips.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XrmStringToQuark()"),
+					xtrace.Rep("UseQuark(X)", 1, 4),
+				}},
+				{Name: "unused", Good: false, Kind: xtrace.Perf, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XrmStringToQuark()"),
+					xtrace.Ev("DiscardQuark(X)"),
+				}},
+			},
+		})
+}
+
+func xSetSelOwner() Spec {
+	return mustSpec("XSetSelOwner",
+		"After XSetSelectionOwner, ownership must be verified with a get; assuming success races against other clients.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "verified", Good: true, Weight: 7, Events: []xtrace.Event{
+					xtrace.Ev("X = XSetSelectionOwner()"),
+					xtrace.Ev("VerifyOwner(X)"),
+					xtrace.Rep("SendSelection(X)", 0, 3),
+				}},
+				{Name: "unverified", Good: false, Kind: xtrace.Race, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XSetSelectionOwner()"),
+					xtrace.Rep("SendSelection(X)", 1, 3),
+				}},
+			},
+		})
+}
+
+func xtOwnSel() Spec {
+	return mustSpec("XtOwnSel",
+		"A selection owned with XtOwnSelection must eventually be disowned with XtDisownSelection, and not after it was lost.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 7, Events: []xtrace.Event{
+					xtrace.Ev("X = XtOwnSelection()"),
+					xtrace.Rep("ConvertSelection(X)", 0, 3),
+					xtrace.Ev("XtDisownSelection(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XtOwnSelection()"),
+					xtrace.Rep("ConvertSelection(X)", 0, 2),
+				}},
+				{Name: "disown-after-lose", Good: false, Kind: xtrace.Race, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XtOwnSelection()"),
+					xtrace.Ev("LoseSelection(X)"),
+					xtrace.Ev("XtDisownSelection(X)"),
+				}},
+			},
+		})
+}
+
+func xInternAtom() Spec {
+	return mustSpec("XInternAtom",
+		"Atoms should be interned once and cached; re-interning the same name repeats a synchronous server round trip (performance bug).",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "cached", Good: true, Weight: 7, Events: []xtrace.Event{
+					xtrace.Ev("X = XInternAtom()"),
+					xtrace.Rep("UseAtom(X)", 1, 5),
+				}},
+				{Name: "re-intern", Good: false, Kind: xtrace.Perf, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XInternAtom()"),
+					xtrace.Rep("ReInternAtom(X)", 1, 3),
+					xtrace.Rep("UseAtom(X)", 1, 2),
+				}},
+			},
+			Noise: []string{"XFlush()"},
+		})
+}
+
+func prsAccelTbl() Spec {
+	return mustSpec("PrsAccelTbl",
+		"An accelerator table parsed by XtParseAcceleratorTable must be installed with XtInstallAccelerators or XtInstallAllAccelerators.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "install", Good: true, Weight: 6, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseAcceleratorTable()"),
+					xtrace.Rep("XtInstallAccelerators(X)", 1, 2),
+				}},
+				{Name: "install-all", Good: true, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseAcceleratorTable()"),
+					xtrace.Ev("XtInstallAllAccelerators(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XtParseAcceleratorTable()"),
+				}},
+			},
+		})
+}
+
+func xOpenDisplay() Spec {
+	return mustSpec("XOpenDisplay",
+		"A display connection opened with XOpenDisplay must be closed with XCloseDisplay.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XOpenDisplay()"),
+					xtrace.Rep("XSync(X)", 0, 3),
+					xtrace.Ev("XCloseDisplay(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XOpenDisplay()"),
+					xtrace.Rep("XSync(X)", 1, 2),
+				}},
+			},
+			Noise: []string{"XFlush()"},
+		})
+}
+
+func xCreatePixmap() Spec {
+	return mustSpec("XCreatePixmap",
+		"A pixmap created with XCreatePixmap must be freed with XFreePixmap, and not used afterwards.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreatePixmap()"),
+					xtrace.Rep("XCopyArea(X)", 0, 4),
+					xtrace.Ev("XFreePixmap(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreatePixmap()"),
+					xtrace.Rep("XCopyArea(X)", 1, 3),
+				}},
+				{Name: "copy-after-free", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreatePixmap()"),
+					xtrace.Ev("XFreePixmap(X)"),
+					xtrace.Ev("XCopyArea(X)"),
+				}},
+			},
+		})
+}
+
+func xtAddInput() Spec {
+	return mustSpec("XtAddInput",
+		"An input source registered with XtAppAddInput must be unregistered with XtRemoveInput.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XtAppAddInput()"),
+					xtrace.Rep("InputCallback(X)", 0, 5),
+					xtrace.Ev("XtRemoveInput(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XtAppAddInput()"),
+					xtrace.Rep("InputCallback(X)", 1, 4),
+				}},
+			},
+		})
+}
+
+func regionsAlloc() Spec {
+	return mustSpec("RegionsAlloc",
+		"A region created with XCreateRegion must be destroyed with XDestroyRegion, and not used afterwards.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Rep("XUnionRectWithRegion(X)", 0, 3),
+					xtrace.Rep("XClipBox(X)", 0, 1),
+					xtrace.Ev("XDestroyRegion(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Rep("XUnionRectWithRegion(X)", 1, 3),
+				}},
+				{Name: "use-after-destroy", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Ev("XDestroyRegion(X)"),
+					xtrace.Ev("XClipBox(X)"),
+				}},
+			},
+		})
+}
+
+func xFreeGC() Spec {
+	return mustSpec("XFreeGC",
+		"A graphics context created with XCreateGC must be freed exactly once with XFreeGC.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Rep("XChangeGC(X)", 0, 2),
+					xtrace.Rep("XDrawLine(X)", 0, 3),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Rep("XDrawLine(X)", 1, 3),
+				}},
+				{Name: "double-free", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Ev("XFreeGC(X)"),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+			},
+		})
+}
+
+func xPutImage() Spec {
+	return mustSpec("XPutImage",
+		"An image created with XCreateImage must be destroyed with XDestroyImage; XPutImage must not follow the destroy.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "ok", Good: true, Weight: 8, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateImage()"),
+					xtrace.Rep("XPutImage(X)", 1, 6),
+					xtrace.Ev("XDestroyImage(X)"),
+				}},
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateImage()"),
+					xtrace.Rep("XPutImage(X)", 1, 4),
+				}},
+				{Name: "put-after-destroy", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateImage()"),
+					xtrace.Ev("XPutImage(X)"),
+					xtrace.Ev("XDestroyImage(X)"),
+					xtrace.Ev("XPutImage(X)"),
+				}},
+			},
+		})
+}
+
+func xSetFont() Spec {
+	return mustSpec("XSetFont",
+		"A font must be installed in a graphics context with XSetFont before text is drawn with it.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "text", Good: true, Weight: 6, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Ev("XSetFont(X)"),
+					xtrace.Rep("XDrawString(X)", 1, 4),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+				{Name: "graphics-only", Good: true, Weight: 3, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Rep("XDrawLine(X)", 1, 3),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+				{Name: "no-font", Good: false, Kind: xtrace.Misuse, Weight: 2, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Rep("XDrawString(X)", 1, 3),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+				{Name: "font-after-draw", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateGC()"),
+					xtrace.Rep("XDrawString(X)", 1, 2),
+					xtrace.Ev("XSetFont(X)"),
+					xtrace.Ev("XFreeGC(X)"),
+				}},
+			},
+		})
+}
+
+func regionsBig() Spec {
+	return mustSpec("RegionsBig",
+		"Region arithmetic over derived regions: both the source region and regions copied from it must be destroyed, each exactly once.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "pair", Good: true, Weight: 6, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Ev("Y = XCopyRegion(X)"),
+					xtrace.Rep("XUnionRegion(X, Y)", 0, 2),
+					xtrace.Rep("XIntersectRegion(X, Y)", 0, 2),
+					xtrace.Ev("XDestroyRegion(Y)"),
+					xtrace.Ev("XDestroyRegion(X)"),
+				}},
+				{Name: "single", Good: true, Weight: 3, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Rep("XOffsetRegion(X)", 0, 3),
+					xtrace.Ev("XDestroyRegion(X)"),
+				}},
+				{Name: "double-destroy", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Ev("Y = XCopyRegion(X)"),
+					xtrace.Rep("XUnionRegion(X, Y)", 0, 1),
+					xtrace.Ev("XDestroyRegion(Y)"),
+					xtrace.Ev("XDestroyRegion(Y)"),
+					xtrace.Ev("XDestroyRegion(X)"),
+				}},
+				{Name: "leak-copy", Good: false, Kind: xtrace.Leak, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Ev("Y = XCopyRegion(X)"),
+					xtrace.Rep("XUnionRegion(X, Y)", 0, 2),
+					xtrace.Ev("XDestroyRegion(X)"),
+				}},
+				{Name: "leak-both", Good: false, Kind: xtrace.Leak, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XCreateRegion()"),
+					xtrace.Ev("Y = XCopyRegion(X)"),
+					xtrace.Rep("XIntersectRegion(X, Y)", 0, 1),
+				}},
+			},
+		})
+}
+
+func xtFree() Spec {
+	return mustSpec("XtFree",
+		"Storage allocated with XtMalloc or XtCalloc must be freed exactly once with XtFree.",
+		xtrace.Model{
+			Scenarios: []xtrace.Scenario{
+				{Name: "malloc", Good: true, Weight: 10, Events: []xtrace.Event{
+					xtrace.Ev("X = XtMalloc()"),
+					xtrace.Rep("XtRealloc(X)", 0, 4),
+					xtrace.Rep("MemWrite(X)", 0, 4),
+					xtrace.Rep("MemRead(X)", 0, 3),
+					xtrace.Ev("XtFree(X)"),
+				}},
+				{Name: "calloc", Good: true, Weight: 3, Events: []xtrace.Event{
+					xtrace.Ev("X = XtCalloc()"),
+					xtrace.Rep("MemWrite(X)", 0, 3),
+					xtrace.Ev("XtFree(X)"),
+				}},
+				// The frequent-error case that defeats coring: leaks are
+				// common in the training runs.
+				{Name: "leak", Good: false, Kind: xtrace.Leak, Weight: 4, Events: []xtrace.Event{
+					xtrace.Ev("X = XtMalloc()"),
+					xtrace.Rep("MemWrite(X)", 0, 3),
+					xtrace.Rep("MemRead(X)", 0, 2),
+				}},
+				{Name: "double-free", Good: false, Kind: xtrace.Misuse, Weight: 1, Events: []xtrace.Event{
+					xtrace.Ev("X = XtMalloc()"),
+					xtrace.Rep("MemWrite(X)", 0, 1),
+					xtrace.Ev("XtFree(X)"),
+					xtrace.Ev("XtFree(X)"),
+				}},
+			},
+			Noise: []string{"XtAppPending()"},
+		})
+}

@@ -1,0 +1,143 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/xtrace"
+)
+
+func TestCorpusShape(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("corpus has %d specs, want 17 (Table 1)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Description == "" {
+			t.Errorf("spec %q lacks name or description", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.FA == nil || s.FA.NumStates() == 0 {
+			t.Errorf("spec %q has no FA", s.Name)
+		}
+		if err := s.Model.Validate(); err != nil {
+			t.Errorf("spec %q: %v", s.Name, err)
+		}
+	}
+	// The fourteen specs the paper names must all be present.
+	for _, name := range []string{
+		"XGetSelOwner", "XSetSelOwner", "XtOwnSel", "PrsTransTbl", "RmvTimeOut",
+		"Quarks", "XInternAtom", "PrsAccelTbl", "RegionsAlloc", "XFreeGC",
+		"XPutImage", "XSetFont", "XtFree", "RegionsBig",
+	} {
+		if !seen[name] {
+			t.Errorf("paper-named spec %q missing", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("XtFree"); !ok || s.Name != "XtFree" {
+		t.Error("ByName(XtFree) failed")
+	}
+	if s, ok := ByName("Stdio"); !ok || s.Name != "Stdio" {
+		t.Error("ByName(Stdio) failed")
+	}
+	if _, ok := ByName("NoSuchSpec"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+// TestFAClassifiesWorkload is the central soundness check of the corpus:
+// every good scenario the model generates is accepted by the derived
+// specification FA, and every bad one is rejected.
+func TestFAClassifiesWorkload(t *testing.T) {
+	corpus := append(All(), Stdio())
+	for _, spec := range corpus {
+		gen := xtrace.Generator{Model: spec.Model, Seed: 1234}
+		set, labels := gen.ScenarioSet(400)
+		for _, c := range set.Classes() {
+			good := labels[c.Rep.Key()]
+			if got := spec.FA.Accepts(c.Rep); got != good {
+				t.Errorf("%s: FA.Accepts(%q) = %v, ground truth good=%v",
+					spec.Name, c.Rep.Key(), got, good)
+			}
+		}
+	}
+}
+
+func TestFAAcceptsLoopGeneralization(t *testing.T) {
+	// The derived FA turns bounded repetition into loops: more repeats than
+	// the template maximum are still accepted.
+	spec, _ := ByName("XtFree")
+	long := trace.ParseEvents("",
+		"X = XtMalloc()",
+		"XtRealloc(X)", "XtRealloc(X)", "XtRealloc(X)", "XtRealloc(X)",
+		"XtRealloc(X)", "XtRealloc(X)", "XtRealloc(X)", // 7 > max 4
+		"XtFree(X)")
+	if !spec.FA.Accepts(long) {
+		t.Error("derived FA rejects over-max repetition")
+	}
+}
+
+func TestFigureOneFAIsBuggy(t *testing.T) {
+	buggy := FigureOneFA()
+	// The bug: a pipe closed with fclose is accepted.
+	if !buggy.Accepts(trace.ParseEvents("", "X = popen()", "fclose(X)")) {
+		t.Error("Figure 1 FA does not exhibit its bug")
+	}
+	// The correct Stdio FA rejects it and accepts the pclose form.
+	correct := Stdio().FA
+	if correct.Accepts(trace.ParseEvents("", "X = popen()", "fclose(X)")) {
+		t.Error("correct stdio FA accepts the buggy close")
+	}
+	if !correct.Accepts(trace.ParseEvents("", "X = popen()", "pclose(X)")) {
+		t.Error("correct stdio FA rejects pclose")
+	}
+	if buggy.Accepts(trace.ParseEvents("", "X = popen()", "pclose(X)")) {
+		t.Error("Figure 1 FA accepts pclose (it should not; that is the violation)")
+	}
+}
+
+func TestDeriveFADeterministic(t *testing.T) {
+	for _, spec := range append(All(), Stdio()) {
+		if !spec.FA.IsDeterministic() {
+			t.Errorf("%s: derived FA not deterministic", spec.Name)
+		}
+	}
+}
+
+func TestWorkloadScale(t *testing.T) {
+	// The corpus must span the evaluation's range: small specs with a
+	// handful of unique scenarios and large ones (XtFree) with on the order
+	// of a hundred, so Table 3's contrast is reproducible.
+	counts := map[string]int{}
+	for _, spec := range All() {
+		gen := xtrace.Generator{Model: spec.Model, Seed: 99}
+		set, _ := gen.ScenarioSet(600)
+		counts[spec.Name] = set.NumClasses()
+	}
+	if counts["XGetSelOwner"] > 10 {
+		t.Errorf("XGetSelOwner has %d classes; expected a small spec", counts["XGetSelOwner"])
+	}
+	if counts["XtFree"] < 60 {
+		t.Errorf("XtFree has only %d classes; expected the largest workload", counts["XtFree"])
+	}
+	if counts["XtFree"] <= counts["XGetSelOwner"]*4 {
+		t.Errorf("workload scale contrast too small: XtFree=%d XGetSelOwner=%d",
+			counts["XtFree"], counts["XGetSelOwner"])
+	}
+}
+
+func TestSeedOps(t *testing.T) {
+	spec, _ := ByName("XtFree")
+	seeds := spec.Model.SeedOps()
+	want := map[string]bool{"XtMalloc": true, "XtCalloc": true}
+	if len(seeds) != 2 || !want[seeds[0]] || !want[seeds[1]] {
+		t.Errorf("SeedOps = %v", seeds)
+	}
+}

@@ -1,0 +1,54 @@
+package strategy_test
+
+import (
+	"fmt"
+
+	"repro/internal/cable"
+	"repro/internal/concept"
+	"repro/internal/fa"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// Example measures the labeling strategies of Section 4.2 on a small
+// debugging problem and replays the expert's plan onto a live session.
+func Example() {
+	set := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fread(X)"),
+		trace.ParseEvents("v3", "X = fopen()", "fread(X)"),
+	)
+	ref := fa.FromTraces(set.Alphabet())
+	lattice, err := concept.BuildFromTraces(set.Representatives(), ref)
+	if err != nil {
+		panic(err)
+	}
+	truth := []cable.Label{cable.Good, cable.Good, cable.Bad, cable.Bad}
+
+	baseline := strategy.Baseline(lattice)
+	expertPlan, expertCost, ok := strategy.ExpertPlan(lattice, truth)
+	if !ok {
+		panic("expert failed")
+	}
+	optimal, _ := strategy.Optimal(lattice, truth, 0)
+	fmt.Println("baseline:", baseline.Total(), "ops")
+	fmt.Println("expert:  ", expertCost.Total(), "ops")
+	fmt.Println("optimal: ", optimal.Total(), "ops")
+
+	// Replaying the plan through the real Cable commands reproduces the
+	// desired labeling.
+	session, err := cable.NewSession(set, ref)
+	if err != nil {
+		panic(err)
+	}
+	if err := expertPlan.Apply(session); err != nil {
+		panic(err)
+	}
+	fmt.Println("session done:", session.Done())
+	// Output:
+	// baseline: 8 ops
+	// expert:   5 ops
+	// optimal:  4 ops
+	// session done: true
+}

@@ -1,0 +1,84 @@
+package strategy
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cable"
+	"repro/internal/concept"
+)
+
+// Optimal computes the minimum-cost labeling plan by breadth-first search
+// over labeling states. States are sets of already-labeled traces; an
+// action inspects a concept whose unlabeled remainder is uniform and labels
+// that remainder, costing one inspection plus one labeling. Since every
+// productive action costs exactly two operations and unproductive
+// inspections never help, the optimum is twice the minimum number of
+// labeling steps.
+//
+// The search is exponential in the worst case; maxStates bounds the
+// explored state count (0 means DefaultOptimalBudget). When the budget is
+// exceeded — as the paper reports for its four largest specifications,
+// where "the program we wrote to evaluate these strategies took too long to
+// run" — Optimal returns ok = false.
+func Optimal(l *concept.Lattice, ref []cable.Label, maxStates int) (Cost, bool) {
+	_, cost, ok := OptimalPlan(l, ref, maxStates)
+	return cost, ok
+}
+
+// OptimalPlan is Optimal returning a witness: one minimum-length sequence
+// of (inspect, label) operations achieving the reference labeling.
+func OptimalPlan(l *concept.Lattice, ref []cable.Label, maxStates int) (Plan, Cost, bool) {
+	r, err := newRun(l, ref)
+	if err != nil {
+		return Plan{}, Cost{}, false
+	}
+	if maxStates <= 0 {
+		maxStates = DefaultOptimalBudget
+	}
+	n := len(ref)
+	start := bitset.New(n)
+	if n == 0 {
+		return Plan{}, Cost{}, true
+	}
+	type node struct {
+		labeled *bitset.Set
+		plan    Plan
+	}
+	visited := map[string]bool{start.Key(): true}
+	frontier := []node{{labeled: start}}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			for _, c := range l.Concepts() {
+				un := bitset.Difference(c.Extent, cur.labeled)
+				if un.Empty() {
+					continue
+				}
+				label, ok := r.uniformLabel(un)
+				if !ok {
+					continue
+				}
+				plan := Plan{Ops: append(append([]Op(nil), cur.plan.Ops...), Op{Concept: c.ID, Label: label})}
+				succ := bitset.Union(cur.labeled, un)
+				if succ.Len() == n {
+					k := len(plan.Ops)
+					return plan, Cost{Inspections: k, Labelings: k}, true
+				}
+				key := succ.Key()
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				if len(visited) > maxStates {
+					return Plan{}, Cost{}, false
+				}
+				next = append(next, node{labeled: succ, plan: plan})
+			}
+		}
+		frontier = next
+	}
+	// No plan reaches the full labeling: the lattice is not well-formed.
+	return Plan{}, Cost{}, false
+}
+
+// DefaultOptimalBudget is the default bound on explored labeling states.
+const DefaultOptimalBudget = 200000

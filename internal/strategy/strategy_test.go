@@ -1,0 +1,217 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cable"
+	"repro/internal/concept"
+	"repro/internal/fa"
+	"repro/internal/trace"
+	"repro/internal/wellformed"
+)
+
+// stdioFixture builds the well-formed lattice and reference labeling used
+// across these tests (Section 2.1's violations over an unordered FA).
+func stdioFixture(t *testing.T) (*concept.Lattice, []cable.Label) {
+	t.Helper()
+	set := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fwrite(X)", "pclose(X)"),
+		trace.ParseEvents("v3", "X = popen()", "fread(X)"),
+		trace.ParseEvents("v4", "X = fopen()", "fread(X)"),
+		trace.ParseEvents("v5", "X = fopen()", "pclose(X)"),
+	)
+	ref := fa.FromTraces(set.Alphabet())
+	l, err := concept.BuildFromTraces(set.Representatives(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, []cable.Label{cable.Good, cable.Good, cable.Good, cable.Bad, cable.Bad, cable.Bad}
+}
+
+// fooFixture builds the non-well-formed lattice of Section 4.3.
+func fooFixture(t *testing.T) (*concept.Lattice, []cable.Label) {
+	t.Helper()
+	b := fa.NewBuilder("foo")
+	s := b.State()
+	b.Start(s)
+	b.Accept(s)
+	b.EdgeStr(s, "foo()", s)
+	traces := []trace.Trace{
+		trace.ParseEvents("even2", "foo()", "foo()"),
+		trace.ParseEvents("odd1", "foo()"),
+	}
+	l, err := concept.BuildFromTraces(traces, b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, []cable.Label{cable.Good, cable.Bad}
+}
+
+func TestAllStrategiesSucceedOnWellFormed(t *testing.T) {
+	l, ref := stdioFixture(t)
+	if ok, _ := wellformed.Check(l, ref); !ok {
+		t.Fatal("fixture not well-formed")
+	}
+	checks := map[string]func() (Cost, bool){
+		"TopDown":  func() (Cost, bool) { return TopDown(l, ref) },
+		"BottomUp": func() (Cost, bool) { return BottomUp(l, ref) },
+		"Expert":   func() (Cost, bool) { return Expert(l, ref) },
+		"Optimal":  func() (Cost, bool) { return Optimal(l, ref, 0) },
+		"Random":   func() (Cost, bool) { return Random(l, ref, rand.New(rand.NewSource(1)), 0) },
+	}
+	for name, f := range checks {
+		cost, ok := f()
+		if !ok {
+			t.Errorf("%s failed on well-formed lattice", name)
+		}
+		if cost.Total() <= 0 || cost.Inspections < cost.Labelings {
+			t.Errorf("%s cost implausible: %s", name, cost)
+		}
+	}
+}
+
+func TestAllStrategiesFailOnNotWellFormed(t *testing.T) {
+	l, ref := fooFixture(t)
+	if ok, _ := wellformed.Check(l, ref); ok {
+		t.Fatal("foo fixture unexpectedly well-formed")
+	}
+	if _, ok := TopDown(l, ref); ok {
+		t.Error("TopDown succeeded")
+	}
+	if _, ok := BottomUp(l, ref); ok {
+		t.Error("BottomUp succeeded")
+	}
+	if _, ok := Expert(l, ref); ok {
+		t.Error("Expert succeeded")
+	}
+	if _, ok := Optimal(l, ref, 0); ok {
+		t.Error("Optimal succeeded")
+	}
+	if _, ok := Random(l, ref, rand.New(rand.NewSource(1)), 100); ok {
+		t.Error("Random succeeded")
+	}
+	if _, ok := RandomMean(l, ref, 1, 8); ok {
+		t.Error("RandomMean succeeded")
+	}
+}
+
+func TestOptimalIsLowerBound(t *testing.T) {
+	l, ref := stdioFixture(t)
+	opt, ok := Optimal(l, ref, 0)
+	if !ok {
+		t.Fatal("Optimal failed")
+	}
+	for name, f := range map[string]func() (Cost, bool){
+		"TopDown":  func() (Cost, bool) { return TopDown(l, ref) },
+		"BottomUp": func() (Cost, bool) { return BottomUp(l, ref) },
+		"Expert":   func() (Cost, bool) { return Expert(l, ref) },
+	} {
+		c, ok := f()
+		if !ok {
+			t.Fatalf("%s failed", name)
+		}
+		if c.Total() < opt.Total() {
+			t.Errorf("%s (%s) beat Optimal (%s)", name, c, opt)
+		}
+	}
+	mean, ok := RandomMean(l, ref, 7, 64)
+	if !ok || mean < float64(opt.Total()) {
+		t.Errorf("RandomMean %.1f below Optimal %d", mean, opt.Total())
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	l, _ := stdioFixture(t)
+	c := Baseline(l)
+	if c.Inspections != 6 || c.Labelings != 6 || c.Total() != 12 {
+		t.Errorf("Baseline = %s", c)
+	}
+}
+
+func TestOptimalBudgetExceeded(t *testing.T) {
+	l, ref := stdioFixture(t)
+	if _, ok := Optimal(l, ref, 1); ok {
+		t.Error("Optimal with budget 1 claimed success")
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	c := Cost{Inspections: 3, Labelings: 2}.Add(Cost{Inspections: 1, Labelings: 1})
+	if c.Total() != 7 || c.Inspections != 4 {
+		t.Errorf("Add/Total = %+v", c)
+	}
+	if s := c.String(); s != "7 ops (4 inspections + 3 labelings)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	l, ref := stdioFixture(t)
+	if _, ok := TopDown(l, ref[:3]); ok {
+		t.Error("TopDown accepted short reference labeling")
+	}
+	bad := append([]cable.Label(nil), ref...)
+	bad[0] = cable.Unlabeled
+	if _, ok := TopDown(l, bad); ok {
+		t.Error("TopDown accepted unlabeled reference entry")
+	}
+}
+
+// Property: strategy success coincides with lattice well-formedness, and
+// Optimal lower-bounds the other strategies, across random contexts and
+// labelings.
+func TestPropStrategiesVsWellFormedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 120; iter++ {
+		no := 1 + rng.Intn(7)
+		na := 1 + rng.Intn(6)
+		objs := make([]string, no)
+		for i := range objs {
+			objs[i] = fmt.Sprintf("o%d", i)
+		}
+		attrs := make([]string, na)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		ctx := concept.NewContext(objs, attrs)
+		for o := 0; o < no; o++ {
+			for a := 0; a < na; a++ {
+				if rng.Intn(2) == 0 {
+					ctx.Relate(o, a)
+				}
+			}
+		}
+		l := concept.Build(ctx)
+		ref := make([]cable.Label, no)
+		for i := range ref {
+			if rng.Intn(2) == 0 {
+				ref[i] = cable.Good
+			} else {
+				ref[i] = cable.Bad
+			}
+		}
+		wf, _ := wellformed.Check(l, ref)
+		tdCost, td := TopDown(l, ref)
+		buCost, bu := BottomUp(l, ref)
+		exCost, ex := Expert(l, ref)
+		optCost, opt := Optimal(l, ref, 0)
+		if td != wf || bu != wf || ex != wf || opt != wf {
+			t.Fatalf("iter %d: success mismatch wf=%v td=%v bu=%v ex=%v opt=%v\n%s",
+				iter, wf, td, bu, ex, opt, l)
+		}
+		if wf {
+			if optCost.Total() > tdCost.Total() || optCost.Total() > buCost.Total() || optCost.Total() > exCost.Total() {
+				t.Fatalf("iter %d: Optimal %s beaten (td %s, bu %s, ex %s)",
+					iter, optCost, tdCost, buCost, exCost)
+			}
+			rdCost, rd := Random(l, ref, rng, 0)
+			if !rd || rdCost.Total() < optCost.Total() {
+				t.Fatalf("iter %d: Random %s vs Optimal %s (ok=%v)", iter, rdCost, optCost, rd)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package textplot renders small scatter/line plots as text, used by
+// cmd/paper to visualize the scaling analyses (lattice growth, Cable
+// advantage) directly in the terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	// Name appears in the legend; its first rune is the plot marker.
+	Name string
+	// X and Y are the points (equal length).
+	X, Y []float64
+}
+
+// Plot renders the series on a width×height character grid with simple
+// linear axes and a legend. Points that collide keep the earlier series'
+// marker. An empty or degenerate input produces a note instead of a grid.
+func Plot(width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := '*'
+		for _, r := range s.Name {
+			marker = r
+			break
+		}
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			if grid[row][col] == ' ' {
+				grid[row][col] = marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10.3g ┌%s\n", maxY, "")
+	for r, row := range grid {
+		label := "          "
+		if r == height-1 {
+			label = fmt.Sprintf("%-10.3g", minY)
+		}
+		fmt.Fprintf(&b, "%s │%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-.3g%s%.3g\n", "", minX,
+		strings.Repeat(" ", maxInt(1, width-len(fmt.Sprintf("%.3g", minX))-len(fmt.Sprintf("%.3g", maxX)))), maxX)
+	for _, s := range series {
+		marker := "*"
+		for _, r := range s.Name {
+			marker = string(r)
+			break
+		}
+		fmt.Fprintf(&b, "%10s  %s = %s\n", "", marker, s.Name)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

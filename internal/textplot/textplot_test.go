@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot(40, 8, Series{
+		Name: "concepts",
+		X:    []float64{3, 6, 12, 20},
+		Y:    []float64{4, 8, 19, 31},
+	})
+	if !strings.Contains(out, "c") { // marker
+		t.Errorf("no markers:\n%s", out)
+	}
+	if !strings.Contains(out, "c = concepts") {
+		t.Errorf("no legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 8 {
+		t.Errorf("plot too short (%d lines):\n%s", len(lines), out)
+	}
+}
+
+func TestPlotTwoSeries(t *testing.T) {
+	out := Plot(30, 6,
+		Series{Name: "expert", X: []float64{1, 2, 3}, Y: []float64{5, 5, 6}},
+		Series{Name: "baseline", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+	)
+	if !strings.Contains(out, "e = expert") || !strings.Contains(out, "b = baseline") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "e") || !strings.Contains(out, "b") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if out := Plot(30, 6); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// Single point and constant series must not divide by zero.
+	out := Plot(30, 6, Series{Name: "one", X: []float64{5}, Y: []float64{7}})
+	if !strings.Contains(out, "o") {
+		t.Errorf("single point:\n%s", out)
+	}
+	out = Plot(30, 6, Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}})
+	if !strings.Contains(out, "f") {
+		t.Errorf("flat series:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot(1, 1, Series{Name: "x", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestPlotMarkersStayInGrid(t *testing.T) {
+	// Extreme values at the corners must not panic or land outside.
+	out := Plot(20, 5, Series{
+		Name: "z",
+		X:    []float64{-1e9, 0, 1e9},
+		Y:    []float64{-1e9, 0, 1e9},
+	})
+	if !strings.Contains(out, "z") {
+		t.Errorf("markers lost:\n%s", out)
+	}
+}

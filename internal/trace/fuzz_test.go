@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the trace-file reader never panics and that
+// anything it accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	for _, seed := range []string{
+		"trace a\n  f()\nend\n",
+		"trace\nend\n",
+		"# comment\n\ntrace x\n  X = fopen()\n  fclose(X)\nend\n",
+		"trace a\ntrace b\nend\n",
+		"end\n",
+		"garbage\n",
+		"trace a\n  not an event\nend\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, set); err != nil {
+			// IDs with whitespace cannot be produced by Read (IDs are
+			// single fields), so Write must succeed.
+			t.Fatalf("Write of parsed set failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v", err)
+		}
+		if again.Total() != set.Total() || again.NumClasses() != set.NumClasses() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				set.Total(), set.NumClasses(), again.Total(), again.NumClasses())
+		}
+	})
+}

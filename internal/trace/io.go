@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// The text format for trace files:
+//
+//	# comment lines and blank lines are ignored
+//	trace <id>
+//	  <event>
+//	  ...
+//	end
+//
+// Event lines use the syntax of event.Parse. IDs may not contain whitespace;
+// "trace" with no ID assigns an empty ID.
+
+// Write serializes the traces of a set (one record per trace, duplicates
+// included) to w.
+func Write(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Classes() {
+		for j := 0; j < c.Count; j++ {
+			t := c.Rep
+			t.ID = c.IDs[j]
+			if err := WriteTrace(bw, t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTrace serializes a single trace record.
+func WriteTrace(w io.Writer, t Trace) error {
+	if strings.ContainsAny(t.ID, " \t\n") {
+		return fmt.Errorf("trace: ID %q contains whitespace", t.ID)
+	}
+	if _, err := fmt.Fprintf(w, "trace %s\n", t.ID); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "end")
+	return err
+}
+
+// Read parses a trace file into a Set.
+func Read(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		cur    *Trace
+		lineno int
+	)
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == "trace" || strings.HasPrefix(line, "trace "):
+			if cur != nil {
+				return nil, fmt.Errorf("trace: line %d: nested trace record", lineno)
+			}
+			fields := strings.Fields(line)
+			if len(fields) > 2 {
+				return nil, fmt.Errorf("trace: line %d: trace ID must be a single word", lineno)
+			}
+			id := ""
+			if len(fields) == 2 {
+				id = fields[1]
+			}
+			cur = &Trace{ID: id}
+		case line == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: end outside trace record", lineno)
+			}
+			s.Add(*cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: event outside trace record", lineno)
+			}
+			e, err := event.Parse(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+			cur.Events = append(cur.Events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("trace: unterminated trace record %q", cur.ID)
+	}
+	return s, nil
+}

@@ -1,0 +1,250 @@
+// Package trace represents program execution traces and collections of them.
+//
+// A Trace is a finite sequence of symbolic events (see internal/event): the
+// scenario traces that the Strauss miner extracts, and the violation traces a
+// verifier reports, are both Traces. A Set is an insertion-ordered multiset
+// of traces that additionally maintains the partition into classes of
+// identical traces — the unit of work for the paper's Baseline labeling
+// method and the representatives from which concept lattices are built
+// (Section 5.2 builds the lattice "from representatives for classes of
+// identical scenarios, rather than from all of the scenarios").
+package trace
+
+import (
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Trace is a finite sequence of events with an optional provenance ID.
+// Equality and dedup ignore the ID: two traces are identical iff their event
+// sequences are identical.
+type Trace struct {
+	// ID records where the trace came from, e.g. "xclock:run2:#17".
+	ID string
+	// Events is the event sequence.
+	Events []event.Event
+}
+
+// New builds a trace from events.
+func New(id string, events ...event.Event) Trace {
+	return Trace{ID: id, Events: events}
+}
+
+// ParseEvents builds a trace by parsing each event string; it panics on a
+// malformed event and is intended for literals in tests and examples.
+func ParseEvents(id string, events ...string) Trace {
+	tr := Trace{ID: id, Events: make([]event.Event, len(events))}
+	for i, s := range events {
+		tr.Events[i] = event.MustParse(s)
+	}
+	return tr
+}
+
+// Len returns the number of events.
+func (t Trace) Len() int { return len(t.Events) }
+
+// Key returns the canonical string identifying the event sequence; traces
+// are identical iff their keys are equal.
+func (t Trace) Key() string {
+	var b strings.Builder
+	for i, e := range t.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// String renders the trace as its key (IDs are provenance, not content).
+func (t Trace) String() string { return t.Key() }
+
+// Equal reports whether two traces have identical event sequences.
+func (t Trace) Equal(u Trace) bool {
+	if len(t.Events) != len(u.Events) {
+		return false
+	}
+	for i := range t.Events {
+		if !t.Events[i].Equal(u.Events[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mentions reports whether any event in the trace mentions the variable name.
+func (t Trace) Mentions(name string) bool {
+	for _, e := range t.Events {
+		if e.Mentions(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns the sorted distinct variable names mentioned by the trace.
+func (t Trace) Names() []string {
+	set := map[string]bool{}
+	for _, e := range t.Events {
+		for _, n := range e.Names() {
+			set[n] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Ops returns the operation name of each event, in order.
+func (t Trace) Ops() []string {
+	out := make([]string, len(t.Events))
+	for i, e := range t.Events {
+		out[i] = e.Op
+	}
+	return out
+}
+
+// Rename returns a copy of the trace with every event renamed through subst.
+func (t Trace) Rename(subst map[string]string) Trace {
+	out := Trace{ID: t.ID, Events: make([]event.Event, len(t.Events))}
+	for i, e := range t.Events {
+		out.Events[i] = e.Rename(subst)
+	}
+	return out
+}
+
+// Project returns the subtrace of events mentioning the given name. Events
+// not mentioning it are dropped. This is the trace-side counterpart of the
+// name-projection Focus template (Section 4.1).
+func (t Trace) Project(name string) Trace {
+	out := Trace{ID: t.ID}
+	for _, e := range t.Events {
+		if e.Mentions(name) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Class is a group of identical traces within a Set.
+type Class struct {
+	// Rep is the first trace inserted with this event sequence.
+	Rep Trace
+	// Count is the number of traces in the class (including Rep).
+	Count int
+	// IDs lists the provenance IDs of all members, in insertion order.
+	IDs []string
+}
+
+// Set is an insertion-ordered multiset of traces with identical-trace
+// classes. The zero value is an empty set ready to use.
+type Set struct {
+	classes []Class
+	index   map[string]int // trace key -> index into classes
+	total   int
+}
+
+// NewSet builds a set from the given traces.
+func NewSet(traces ...Trace) *Set {
+	s := &Set{}
+	for _, t := range traces {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts a trace. It returns the index of the trace's class and whether
+// the class is new.
+func (s *Set) Add(t Trace) (class int, isNew bool) {
+	if s.index == nil {
+		s.index = map[string]int{}
+	}
+	key := t.Key()
+	s.total++
+	if i, ok := s.index[key]; ok {
+		s.classes[i].Count++
+		s.classes[i].IDs = append(s.classes[i].IDs, t.ID)
+		return i, false
+	}
+	i := len(s.classes)
+	s.index[key] = i
+	s.classes = append(s.classes, Class{Rep: t, Count: 1, IDs: []string{t.ID}})
+	return i, true
+}
+
+// AddAll inserts every trace of another set, with multiplicities.
+func (s *Set) AddAll(other *Set) {
+	for _, c := range other.classes {
+		for j := 0; j < c.Count; j++ {
+			t := c.Rep
+			t.ID = c.IDs[j]
+			s.Add(t)
+		}
+	}
+}
+
+// Total returns the number of traces including duplicates.
+func (s *Set) Total() int { return s.total }
+
+// NumClasses returns the number of classes of identical traces.
+func (s *Set) NumClasses() int { return len(s.classes) }
+
+// Classes returns the identical-trace classes in insertion order. The
+// returned slice is shared; callers must not mutate it.
+func (s *Set) Classes() []Class { return s.classes }
+
+// Class returns the i'th class.
+func (s *Set) Class(i int) Class { return s.classes[i] }
+
+// Representatives returns one trace per class, in insertion order. This is
+// the object set from which the paper builds concept lattices.
+func (s *Set) Representatives() []Trace {
+	out := make([]Trace, len(s.classes))
+	for i, c := range s.classes {
+		out[i] = c.Rep
+	}
+	return out
+}
+
+// ClassOf returns the class index of a trace identical to t, or -1.
+func (s *Set) ClassOf(t Trace) int {
+	if s.index == nil {
+		return -1
+	}
+	if i, ok := s.index[t.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Alphabet returns the sorted distinct event strings occurring in the set.
+func (s *Set) Alphabet() []event.Event {
+	seen := map[string]event.Event{}
+	for _, c := range s.classes {
+		for _, e := range c.Rep.Events {
+			seen[e.String()] = e
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]event.Event, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

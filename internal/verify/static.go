@@ -1,0 +1,98 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// This file implements the static side of Section 2.1: a verification tool
+// that "analyzes the program and reports violation traces, which are
+// program execution traces that demonstrate an apparent violation of the
+// specification". Programs are modeled as automata over the same event
+// alphabet as specifications — each accepted word is a possible per-object
+// scenario of the program — and the verifier reports the shortest words
+// the program can produce that the specification rejects, via the product
+// of the program with the specification's complement.
+
+// Static reports up to limit violation traces of length at most maxLen
+// that the program model can produce but the specification rejects,
+// shortest first. The returned traces carry IDs "static#<n>". An empty
+// result means the program conforms to the specification up to maxLen.
+func Static(program, spec *fa.FA, maxLen, limit int) ([]Violation, error) {
+	alphabet := unionAlphabet(program, spec)
+	notSpec, err := spec.Complement(alphabet)
+	if err != nil {
+		return nil, fmt.Errorf("verify: complementing %q: %v", spec.Name(), err)
+	}
+	bad := fa.Intersect(program, notSpec)
+	var out []Violation
+	for i, t := range bad.Enumerate(maxLen, limit) {
+		t.ID = fmt.Sprintf("static#%d", i)
+		at := spec.RejectsAt(t)
+		if at < 0 {
+			return nil, fmt.Errorf("verify: internal error: enumerated trace %q accepted by spec", t.Key())
+		}
+		out = append(out, Violation{Trace: t, At: at})
+	}
+	return out, nil
+}
+
+// Conforms reports whether every behaviour of the program model is
+// accepted by the specification: L(program) ⊆ L(spec). Exact (not bounded):
+// it checks emptiness of program ∩ ¬spec.
+func Conforms(program, spec *fa.FA) (bool, error) {
+	alphabet := unionAlphabet(program, spec)
+	notSpec, err := spec.Complement(alphabet)
+	if err != nil {
+		return false, err
+	}
+	bad := fa.Intersect(program, notSpec).Trim()
+	// After trimming, a nonempty language means some accepting state
+	// remains reachable.
+	return len(bad.AcceptStates()) == 0, nil
+}
+
+// StaticSet is Static collected into a trace set ready for a Cable
+// session.
+func StaticSet(program, spec *fa.FA, maxLen, limit int) (*trace.Set, []Violation, error) {
+	violations, err := Static(program, spec, maxLen, limit)
+	if err != nil {
+		return nil, nil, err
+	}
+	set := &trace.Set{}
+	for _, v := range violations {
+		set.Add(v.Trace)
+	}
+	return set, violations, nil
+}
+
+func unionAlphabet(a, b *fa.FA) []event.Event {
+	seen := map[string]event.Event{}
+	for _, e := range a.Alphabet() {
+		seen[e.String()] = e
+	}
+	for _, e := range b.Alphabet() {
+		seen[e.String()] = e
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]event.Event, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package verify implements the trace-level temporal-specification checker
+// of Section 2.1: it simulates scenario traces against a specification FA
+// and reports the traces the specification rejects as violation traces.
+//
+// The paper's setting runs a static verifier over whole programs; what the
+// debugging method consumes is only the resulting set of violation traces,
+// so this checker — which extracts scenarios from concrete execution traces
+// with the Strauss front end and checks each against the FA — exercises the
+// same downstream code paths (see DESIGN.md, substitutions).
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/fa"
+	"repro/internal/mine"
+	"repro/internal/trace"
+)
+
+// Violation is one rejected trace with the position where rejection
+// manifested.
+type Violation struct {
+	// Trace is the violating scenario trace.
+	Trace trace.Trace
+	// At is the event index at which every run of the specification died,
+	// or len(Trace.Events) when the trace ran to completion without
+	// reaching an accepting state (e.g. a resource never released).
+	At int
+}
+
+// String renders the violation with a caret under the offending event.
+func (v Violation) String() string {
+	if v.At >= len(v.Trace.Events) {
+		return fmt.Sprintf("%s <incomplete at end>", v.Trace.Key())
+	}
+	return fmt.Sprintf("%s <violates at event %d: %s>", v.Trace.Key(), v.At, v.Trace.Events[v.At])
+}
+
+// Check simulates each trace against the specification and returns the
+// violations in input order.
+func Check(spec *fa.FA, traces []trace.Trace) []Violation {
+	var out []Violation
+	for _, t := range traces {
+		if at := spec.RejectsAt(t); at >= 0 {
+			out = append(out, Violation{Trace: t, At: at})
+		}
+	}
+	return out
+}
+
+// CheckSet checks every trace of a set (duplicates included) and returns
+// the violating traces as a set alongside the per-class violations.
+func CheckSet(spec *fa.FA, set *trace.Set) (*trace.Set, []Violation) {
+	violations := Check(spec, setTraces(set))
+	vset := &trace.Set{}
+	for _, v := range violations {
+		vset.Add(v.Trace)
+	}
+	return vset, violations
+}
+
+// CheckRuns extracts scenarios from whole-program runs with the front end
+// and checks each against the specification — the "test a specification
+// against a program" workflow of Section 2.1.
+func CheckRuns(spec *fa.FA, fe mine.FrontEnd, runs []mine.Run) (*trace.Set, []Violation) {
+	return CheckSet(spec, fe.ExtractAll(runs))
+}
+
+// Partition splits a set into the traces the specification accepts and the
+// traces it rejects, preserving multiplicities. Debugging sessions use it
+// to separate violations from conforming scenarios.
+func Partition(spec *fa.FA, set *trace.Set) (accepted, rejected *trace.Set) {
+	accepted, rejected = &trace.Set{}, &trace.Set{}
+	for _, t := range setTraces(set) {
+		if spec.Accepts(t) {
+			accepted.Add(t)
+		} else {
+			rejected.Add(t)
+		}
+	}
+	return accepted, rejected
+}
+
+func setTraces(set *trace.Set) []trace.Trace {
+	var all []trace.Trace
+	for _, c := range set.Classes() {
+		for j := 0; j < c.Count; j++ {
+			t := c.Rep
+			t.ID = c.IDs[j]
+			all = append(all, t)
+		}
+	}
+	return all
+}

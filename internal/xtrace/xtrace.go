@@ -1,0 +1,368 @@
+// Package xtrace generates synthetic X11-style workloads: whole-program
+// execution traces and scenario-trace multisets drawn from per-specification
+// usage models.
+//
+// The paper's evaluation instruments 72 X11 programs and collects 90 full
+// execution traces; those programs and traces are unavailable, so this
+// package substitutes stochastic models (see DESIGN.md): each specification
+// gets a set of scenario templates — correct protocol instances and the
+// error modes the paper reports (leaks, mismatched releases, double frees,
+// races) — with relative weights and bounded repetition. The debugging
+// method only ever sees the resulting multiset of scenario traces, so a
+// generator that reproduces the kinds and proportions of scenarios
+// exercises the same code paths end to end.
+//
+// Generation is deterministic for a given seed.
+package xtrace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/mine"
+	"repro/internal/trace"
+)
+
+// Event is one step of a scenario template: a symbolic event over scenario
+// names (X, Y, ...) with repetition bounds. Min = Max = 1 is a plain event;
+// Min = 0 makes the event optional.
+type Event struct {
+	// Sym is the event in event.Parse syntax, e.g. "fread(X)".
+	Sym string
+	// Min and Max bound the number of consecutive occurrences (inclusive).
+	Min, Max int
+}
+
+// Ev returns a template event occurring exactly once.
+func Ev(sym string) Event { return Event{Sym: sym, Min: 1, Max: 1} }
+
+// Rep returns a template event occurring between min and max times.
+func Rep(sym string, min, max int) Event { return Event{Sym: sym, Min: min, Max: max} }
+
+// Opt returns a template event occurring zero or one time.
+func Opt(sym string) Event { return Event{Sym: sym, Min: 0, Max: 1} }
+
+// BugKind classifies an erroneous scenario, following the paper's census
+// of the 199 bugs the debugged specifications found: "resource leaks,
+// potential races, and performance bugs".
+type BugKind string
+
+const (
+	// NotABug marks good scenarios.
+	NotABug BugKind = ""
+	// Leak: a resource acquired and never released.
+	Leak BugKind = "leak"
+	// Race: an ordering the protocol forbids (e.g. removing a timeout
+	// after it fired).
+	Race BugKind = "race"
+	// Perf: a correctness-preserving but wasteful pattern (e.g. repeated
+	// atom interning).
+	Perf BugKind = "perf"
+	// Misuse: any other protocol violation (double frees, mismatched or
+	// premature releases, use-after-free).
+	Misuse BugKind = "misuse"
+)
+
+// Scenario is a usage pattern: a template, whether it is correct behaviour
+// (belongs in the debugged specification), and its relative weight in the
+// workload.
+type Scenario struct {
+	// Name identifies the pattern, e.g. "ok" or "double-free".
+	Name string
+	// Good marks scenarios the correct specification should accept; !Good
+	// scenarios are program errors.
+	Good bool
+	// Kind classifies erroneous scenarios; it must be NotABug for good
+	// ones and set for bad ones.
+	Kind BugKind
+	// Weight is the relative sampling frequency (≥ 1).
+	Weight int
+	// Events is the template.
+	Events []Event
+}
+
+// Model is the workload model of one specification.
+type Model struct {
+	// Scenarios are the usage patterns; at least one must be Good.
+	Scenarios []Scenario
+	// Noise lists object-free operations (e.g. "XFlush()") interleaved into
+	// whole-program runs; noise never enters scenario traces.
+	Noise []string
+}
+
+// Validate checks the model for the mistakes that would poison experiments:
+// unparsable templates, non-positive weights, and good/bad ambiguity (a
+// trace expansion reachable from both a good and a bad template).
+func (m Model) Validate() error {
+	if len(m.Scenarios) == 0 {
+		return fmt.Errorf("xtrace: model has no scenarios")
+	}
+	hasGood := false
+	for _, sc := range m.Scenarios {
+		if sc.Good {
+			hasGood = true
+			if sc.Kind != NotABug {
+				return fmt.Errorf("xtrace: good scenario %q carries bug kind %q", sc.Name, sc.Kind)
+			}
+		} else if sc.Kind == NotABug {
+			return fmt.Errorf("xtrace: bad scenario %q lacks a bug kind", sc.Name)
+		}
+		if sc.Weight <= 0 {
+			return fmt.Errorf("xtrace: scenario %q has weight %d", sc.Name, sc.Weight)
+		}
+		if len(sc.Events) == 0 {
+			return fmt.Errorf("xtrace: scenario %q is empty", sc.Name)
+		}
+		for _, ev := range sc.Events {
+			if _, err := event.Parse(ev.Sym); err != nil {
+				return fmt.Errorf("xtrace: scenario %q: %v", sc.Name, err)
+			}
+			if ev.Min < 0 || ev.Max < ev.Min {
+				return fmt.Errorf("xtrace: scenario %q: bad repetition [%d,%d] for %s", sc.Name, ev.Min, ev.Max, ev.Sym)
+			}
+		}
+	}
+	if !hasGood {
+		return fmt.Errorf("xtrace: model has no good scenario")
+	}
+	for _, n := range m.Noise {
+		e, err := event.Parse(n)
+		if err != nil {
+			return fmt.Errorf("xtrace: noise: %v", err)
+		}
+		if e.Def != "" || len(e.Uses) != 0 {
+			return fmt.Errorf("xtrace: noise event %q must not touch objects", n)
+		}
+	}
+	return m.checkAmbiguity()
+}
+
+// checkAmbiguity verifies no short expansion is generable from both a good
+// and a bad template (which would make the reference labeling ill-defined).
+func (m Model) checkAmbiguity() error {
+	seen := map[string]string{} // expansion key -> scenario name
+	good := map[string]bool{}
+	for _, sc := range m.Scenarios {
+		for _, key := range sc.boundedExpansions(64) {
+			if prev, ok := seen[key]; ok && good[key] != sc.Good {
+				return fmt.Errorf("xtrace: trace %q generable from %q (good=%v) and %q (good=%v)",
+					key, prev, good[key], sc.Name, sc.Good)
+			}
+			seen[key] = sc.Name
+			good[key] = sc.Good
+		}
+	}
+	return nil
+}
+
+// boundedExpansions enumerates up to limit distinct expansions of the
+// template, capping each repetition at min+2 — enough to catch overlaps
+// without blowing up.
+func (sc Scenario) boundedExpansions(limit int) []string {
+	return sc.expansions(limit, true)
+}
+
+// Expansions enumerates up to limit distinct expansions of the scenario
+// template with its full repetition ranges; experiments use it to map
+// generated traces back to their generating scenario.
+func Expansions(sc Scenario, limit int) []string {
+	return sc.expansions(limit, false)
+}
+
+func (sc Scenario) expansions(limit int, capRepeats bool) []string {
+	expansions := []string{""}
+	for _, ev := range sc.Events {
+		max := ev.Max
+		if capRepeats && max > ev.Min+2 {
+			max = ev.Min + 2
+		}
+		var next []string
+		for _, prefix := range expansions {
+			for n := ev.Min; n <= max; n++ {
+				s := prefix
+				for i := 0; i < n; i++ {
+					if s != "" {
+						s += "; "
+					}
+					s += event.MustParse(ev.Sym).String()
+				}
+				next = append(next, s)
+			}
+			if len(next) > limit {
+				return next[:limit]
+			}
+		}
+		expansions = next
+	}
+	return expansions
+}
+
+// expand instantiates the template with concrete repetition counts.
+func (sc Scenario) expand(rng *rand.Rand) []event.Event {
+	var out []event.Event
+	for _, ev := range sc.Events {
+		n := ev.Min
+		if ev.Max > ev.Min {
+			n += rng.Intn(ev.Max - ev.Min + 1)
+		}
+		e := event.MustParse(ev.Sym)
+		for i := 0; i < n; i++ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pick samples a scenario index by weight.
+func (m Model) pick(rng *rand.Rand) int {
+	total := 0
+	for _, sc := range m.Scenarios {
+		total += sc.Weight
+	}
+	r := rng.Intn(total)
+	for i, sc := range m.Scenarios {
+		r -= sc.Weight
+		if r < 0 {
+			return i
+		}
+	}
+	return len(m.Scenarios) - 1
+}
+
+// Generator draws workloads from a model.
+type Generator struct {
+	Model Model
+	Seed  int64
+}
+
+// Labeling maps a scenario-trace key (trace.Trace.Key) to whether the trace
+// is correct. It is the ground truth against which labeling strategies are
+// costed.
+type Labeling map[string]bool
+
+// ScenarioSet generates n scenario traces directly (as the Strauss front
+// end would extract them), returning the multiset and the ground-truth
+// labeling of every generated class.
+func (g Generator) ScenarioSet(n int) (*trace.Set, Labeling) {
+	rng := rand.New(rand.NewSource(g.Seed))
+	set := &trace.Set{}
+	labels := Labeling{}
+	for i := 0; i < n; i++ {
+		sc := g.Model.Scenarios[g.Model.pick(rng)]
+		tr := trace.Trace{ID: fmt.Sprintf("%s#%d", sc.Name, i), Events: sc.expand(rng)}
+		set.Add(tr)
+		labels[tr.Key()] = sc.Good
+	}
+	return set, labels
+}
+
+// Runs generates whole-program runs: each run interleaves several scenario
+// instances over distinct objects, with noise events sprinkled in. The
+// returned labeling covers the scenario traces a front end with
+// FollowDerived should extract.
+func (g Generator) Runs(numRuns, scenariosPerRun int) ([]mine.Run, Labeling) {
+	rng := rand.New(rand.NewSource(g.Seed))
+	labels := Labeling{}
+	runs := make([]mine.Run, 0, numRuns)
+	nextObj := event.ObjID(1)
+	for r := 0; r < numRuns; r++ {
+		type pending struct {
+			events []event.Concrete
+			next   int
+		}
+		var lanes []*pending
+		for s := 0; s < scenariosPerRun; s++ {
+			sc := g.Model.Scenarios[g.Model.pick(rng)]
+			symbolic := sc.expand(rng)
+			labels[trace.Trace{Events: symbolic}.Key()] = sc.Good
+			concrete, used := concretize(symbolic, nextObj)
+			nextObj += event.ObjID(used)
+			lanes = append(lanes, &pending{events: concrete})
+		}
+		var all []event.Concrete
+		for {
+			var ready []*pending
+			for _, l := range lanes {
+				if l.next < len(l.events) {
+					ready = append(ready, l)
+				}
+			}
+			if len(ready) == 0 {
+				break
+			}
+			if len(g.Model.Noise) > 0 && rng.Intn(4) == 0 {
+				all = append(all, event.Concrete{Op: event.MustParse(g.Model.Noise[rng.Intn(len(g.Model.Noise))]).Op})
+			}
+			lane := ready[rng.Intn(len(ready))]
+			all = append(all, lane.events[lane.next])
+			lane.next++
+		}
+		runs = append(runs, mine.Run{ID: fmt.Sprintf("sim:run%d", r), Events: all})
+	}
+	return runs, labels
+}
+
+// concretize maps the symbolic events to concrete ones with fresh object
+// identities per scenario name; it returns the events and how many objects
+// were allocated.
+func concretize(symbolic []event.Event, base event.ObjID) ([]event.Concrete, int) {
+	objs := map[string]event.ObjID{}
+	alloc := func(name string) event.ObjID {
+		if name == "" {
+			return 0
+		}
+		if id, ok := objs[name]; ok {
+			return id
+		}
+		id := base + event.ObjID(len(objs))
+		objs[name] = id
+		return id
+	}
+	out := make([]event.Concrete, len(symbolic))
+	for i, e := range symbolic {
+		c := event.Concrete{Op: e.Op, Def: alloc(e.Def)}
+		for _, u := range e.Uses {
+			c.Uses = append(c.Uses, alloc(u))
+		}
+		out[i] = c
+	}
+	return out, len(objs)
+}
+
+// SeedOps returns the operations that define the first-mentioned name of
+// each scenario — the natural front-end seeds for the model.
+func (m Model) SeedOps() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sc := range m.Scenarios {
+		e := event.MustParse(sc.Events[0].Sym)
+		if e.Def != "" && !seen[e.Op] {
+			seen[e.Op] = true
+			out = append(out, e.Op)
+		}
+	}
+	return out
+}
+
+// Describe renders the model for documentation: one line per scenario.
+func (m Model) Describe() string {
+	var b strings.Builder
+	for _, sc := range m.Scenarios {
+		status := "good"
+		if !sc.Good {
+			status = "bad "
+		}
+		fmt.Fprintf(&b, "  [%s w=%-2d] %s:", status, sc.Weight, sc.Name)
+		for _, ev := range sc.Events {
+			if ev.Min == 1 && ev.Max == 1 {
+				fmt.Fprintf(&b, " %s", ev.Sym)
+			} else {
+				fmt.Fprintf(&b, " %s{%d,%d}", ev.Sym, ev.Min, ev.Max)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
