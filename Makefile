@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the gate a CI job should run.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A one-iteration pass over the lattice-engine benchmarks: catches
+# benchmark-code rot without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkBitset' \
+	    -benchtime 1x ./internal/concept ./internal/bitset
+
+# Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op).
+bench:
+	scripts/bench.sh

@@ -76,6 +76,25 @@ func BenchmarkTable2_Lattice(b *testing.B) {
 	}
 }
 
+// BenchmarkLatticeOps measures the byIntent-backed lattice queries (Meet,
+// Join, Find, ObjectConcept, AttributeConcept) on a real specification
+// lattice. These back the strategy loops and Cable navigation; since the
+// intent-index optimization they are hash/table lookups, not linear scans.
+func BenchmarkLatticeOps(b *testing.B) {
+	e := mustPrepare(b, "XtFree")
+	l := e.Lattice
+	n := l.Len()
+	ctx := l.Context()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := i%n, (i*13+5)%n
+		l.Meet(x, y)
+		l.Join(x, y)
+		l.ObjectConcept(i % ctx.NumObjects())
+		l.AttributeConcept(i % ctx.NumAttributes())
+	}
+}
+
 // BenchmarkTable3 measures each labeling strategy per specification — the
 // rows of Table 3 (the benchmark time is the simulation cost; the reported
 // metric in the table is operation counts).

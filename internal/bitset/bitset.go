@@ -39,6 +39,64 @@ func FromSlice(elems []int) *Set {
 	return s
 }
 
+// Full returns the set {0, 1, ..., n-1}. It fills whole words at a time,
+// replacing the O(n) Add loop callers previously used to build universe
+// sets.
+func Full(n int) *Set {
+	if n <= 0 {
+		return &Set{}
+	}
+	words := make([]uint64, (n+wordBits-1)/wordBits)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if r := n % wordBits; r != 0 {
+		words[len(words)-1] = (1 << uint(r)) - 1
+	}
+	return &Set{words: words}
+}
+
+// FillFull makes s equal to {0, ..., n-1}, reusing s's storage when it is
+// large enough. It returns s.
+func (s *Set) FillFull(n int) *Set {
+	if n <= 0 {
+		s.words = s.words[:0]
+		return s
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := n % wordBits; r != 0 {
+		s.words[nw-1] = (1 << uint(r)) - 1
+	}
+	return s
+}
+
+// IntersectInto sets dst = a ∩ b, reusing dst's storage, and returns dst.
+// dst may alias a or b. It is the allocation-free form of Intersect for hot
+// loops that recompute intersections into a scratch set.
+func IntersectInto(dst, a, b *Set) *Set {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(dst.words) < n {
+		dst.words = make([]uint64, n)
+	} else {
+		dst.words = dst.words[:n]
+	}
+	for i := 0; i < n; i++ {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+	return dst
+}
+
 func (s *Set) ensure(word int) {
 	if word < len(s.words) {
 		return
@@ -259,16 +317,24 @@ func (s *Set) Min() int {
 // Key returns a string usable as a map key identifying the set's contents.
 // Structurally equal sets produce equal keys.
 func (s *Set) Key() string {
-	c := s.Clone()
-	c.trim()
-	var b strings.Builder
-	b.Grow(len(c.words) * 8)
-	for _, w := range c.words {
-		for i := 0; i < 8; i++ {
-			b.WriteByte(byte(w >> uint(8*i)))
-		}
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey appends the bytes of s.Key() to dst and returns the extended
+// slice. Structurally equal sets append equal bytes. Callers that look sets
+// up in maps can reuse one buffer across calls and convert with
+// string(buf), which the compiler optimizes to an allocation-free lookup.
+func (s *Set) AppendKey(dst []byte) []byte {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
 	}
-	return b.String()
+	for _, w := range s.words[:n] {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
 }
 
 // String renders the set as "{a, b, c}".

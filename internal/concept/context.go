@@ -91,29 +91,33 @@ func (c *Context) Objects(a int) *bitset.Set { return c.cols[a] }
 // empty X it returns all attributes (the convention that makes concepts a
 // complete lattice).
 func (c *Context) Sigma(x *bitset.Set) *bitset.Set {
-	out := bitset.New(len(c.cols))
-	for a := 0; a < len(c.cols); a++ {
-		out.Add(a)
-	}
+	return c.SigmaInto(&bitset.Set{}, x)
+}
+
+// SigmaInto computes σ(X) into dst, reusing dst's storage, and returns dst.
+func (c *Context) SigmaInto(dst, x *bitset.Set) *bitset.Set {
+	dst.FillFull(len(c.cols))
 	x.Range(func(o int) bool {
-		out.IntersectWith(c.rows[o])
+		dst.IntersectWith(c.rows[o])
 		return true
 	})
-	return out
+	return dst
 }
 
 // Tau computes τ(Y): the objects having every attribute in Y. For the empty
 // Y it returns all objects.
 func (c *Context) Tau(y *bitset.Set) *bitset.Set {
-	out := bitset.New(len(c.rows))
-	for o := 0; o < len(c.rows); o++ {
-		out.Add(o)
-	}
+	return c.TauInto(&bitset.Set{}, y)
+}
+
+// TauInto computes τ(Y) into dst, reusing dst's storage, and returns dst.
+func (c *Context) TauInto(dst, y *bitset.Set) *bitset.Set {
+	dst.FillFull(len(c.rows))
 	y.Range(func(a int) bool {
-		out.IntersectWith(c.cols[a])
+		dst.IntersectWith(c.cols[a])
 		return true
 	})
-	return out
+	return dst
 }
 
 // Similarity returns sim(X) = |σ(X)|: the number of attributes shared by all

@@ -29,6 +29,14 @@ type Lattice struct {
 	children [][]int // cover edges downward (smaller extents)
 	top      int
 	bottom   int
+
+	// index maps an intent's Key() to its concept ID; it backs byIntent so
+	// Meet, Join, and Find are hash lookups instead of linear scans.
+	index map[string]int
+	// objConcept[o] is γo (ObjectConcept), attrConcept[a] is μa
+	// (AttributeConcept), both precomputed once per lattice.
+	objConcept  []int
+	attrConcept []int
 }
 
 // Build constructs the concept lattice of a context by incremental object
@@ -38,29 +46,27 @@ type Lattice struct {
 // intersection spawns a new concept. Cover edges are computed in a final
 // pass.
 func Build(ctx *Context) *Lattice {
-	l := &Lattice{ctx: ctx}
-	intents := map[string]*Concept{}
+	l := &Lattice{ctx: ctx, index: map[string]int{}}
 
 	addConcept := func(extent, intent *bitset.Set) *Concept {
 		c := &Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
 		l.concepts = append(l.concepts, c)
-		intents[intent.Key()] = c
+		l.index[intent.Key()] = c.ID
 		return c
 	}
 
 	// Seed with the bottom concept: intent = all attributes, extent = the
 	// objects (none yet) having all of them. Keeping the bottom in the
 	// lattice makes the concept set closed under intersection of intents.
-	allAttrs := bitset.New(ctx.NumAttributes())
-	for a := 0; a < ctx.NumAttributes(); a++ {
-		allAttrs.Add(a)
-	}
-	addConcept(bitset.New(ctx.NumObjects()), allAttrs)
+	addConcept(bitset.New(ctx.NumObjects()), bitset.Full(ctx.NumAttributes()))
 
+	// Scratch buffers reused across the hot inner loop: the intersection is
+	// only materialized (cloned) when it is a novel intent.
+	scratch := &bitset.Set{}
+	var keyBuf []byte
 	for o := 0; o < ctx.NumObjects(); o++ {
 		row := ctx.Attributes(o)
 		snapshot := l.concepts // new concepts are appended; iterate old only
-		created := map[string]bool{}
 		n := len(snapshot)
 		for i := 0; i < n; i++ {
 			c := snapshot[i]
@@ -69,28 +75,65 @@ func Build(ctx *Context) *Lattice {
 				c.Extent.Add(o)
 				continue
 			}
-			inter := bitset.Intersect(c.Intent, row)
-			key := inter.Key()
-			if _, exists := intents[key]; exists || created[key] {
+			bitset.IntersectInto(scratch, c.Intent, row)
+			keyBuf = scratch.AppendKey(keyBuf[:0])
+			if _, exists := l.index[string(keyBuf)]; exists {
 				continue
 			}
-			created[key] = true
 			// The extent of the new concept is τ(inter) over the objects
 			// seen so far, which includes o because inter ⊆ row.
+			inter := scratch.Clone()
 			extent := tauUpTo(ctx, inter, o)
 			addConcept(extent, inter)
 		}
 	}
-	l.linkCovers()
+	l.finalize()
 	return l
+}
+
+// finalize computes the Hasse diagram and the query tables; the intent
+// index must already be populated.
+func (l *Lattice) finalize() {
+	if l.index == nil {
+		l.index = make(map[string]int, len(l.concepts))
+		for _, c := range l.concepts {
+			l.index[c.Intent.Key()] = c.ID
+		}
+	}
+	l.linkCovers()
+	l.buildTables()
+}
+
+// buildTables precomputes the ObjectConcept and AttributeConcept lookup
+// tables. γo has intent σ({o}) = row(o); μa has intent σ(τ({a})). Both are
+// closed intents, so the index resolves them directly.
+func (l *Lattice) buildTables() {
+	var keyBuf []byte
+	scratch := &bitset.Set{}
+	l.objConcept = make([]int, l.ctx.NumObjects())
+	for o := range l.objConcept {
+		keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
+		id, ok := l.index[string(keyBuf)]
+		if !ok {
+			panic("concept: object row is not a closed intent")
+		}
+		l.objConcept[o] = id
+	}
+	l.attrConcept = make([]int, l.ctx.NumAttributes())
+	for a := range l.attrConcept {
+		l.ctx.SigmaInto(scratch, l.ctx.Objects(a))
+		keyBuf = scratch.AppendKey(keyBuf[:0])
+		id, ok := l.index[string(keyBuf)]
+		if !ok {
+			panic("concept: attribute closure is not a closed intent")
+		}
+		l.attrConcept[a] = id
+	}
 }
 
 // tauUpTo computes τ(y) restricted to objects 0..limit inclusive.
 func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
-	out := bitset.New(ctx.NumObjects())
-	for o := 0; o <= limit; o++ {
-		out.Add(o)
-	}
+	out := bitset.Full(limit + 1)
 	y.Range(func(a int) bool {
 		out.IntersectWith(ctx.Objects(a))
 		return true
@@ -100,40 +143,77 @@ func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
 
 // linkCovers computes the Hasse diagram: c is a child of d iff
 // extent(c) ⊂ extent(d) with no concept strictly between.
+//
+// For each concept c = (X, Y) the upper covers are found through the intent
+// index rather than by scanning all concepts: for every object o ∉ X the
+// closure σ(X ∪ {o}) = Y ∩ row(o) is a closed intent, so the concept
+// immediately above c that absorbs o is a single hash lookup. Every concept
+// strictly above c is ≥ one of these candidates, so the upper covers are
+// exactly the candidates that are minimal by extent inclusion — determined
+// by testing candidates one extent-size layer at a time against the covers
+// already accepted from smaller layers. Worst case O(n·|O|) lookups plus a
+// few subset tests among candidates, versus the all-pairs-plus-dominated
+// scan (cubic in concept count) this replaces.
 func (l *Lattice) linkCovers() {
 	n := len(l.concepts)
 	l.parents = make([][]int, n)
 	l.children = make([][]int, n)
-	// Order concepts by extent size ascending; ties broken by ID for
-	// determinism.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	if n == 0 {
+		l.top, l.bottom = 0, 0
+		return
 	}
 	sizes := make([]int, n)
+	l.top, l.bottom = 0, 0
 	for i, c := range l.concepts {
 		sizes[i] = c.Extent.Len()
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if sizes[order[i]] != sizes[order[j]] {
-			return sizes[order[i]] < sizes[order[j]]
+		if sizes[i] > sizes[l.top] {
+			l.top = i
 		}
-		return order[i] < order[j]
-	})
-	for idx, ci := range order {
-		ext := l.concepts[ci].Extent
-		// Candidates: concepts later in the order with strictly larger
-		// extents that contain ext. A candidate is a cover if no chosen
-		// cover's extent is contained in it.
-		var covers []int
-		for _, cj := range order[idx+1:] {
-			sup := l.concepts[cj].Extent
-			if sizes[cj] == sizes[ci] || !ext.SubsetOf(sup) {
+		if sizes[i] < sizes[l.bottom] {
+			l.bottom = i
+		}
+	}
+	numObj := l.ctx.NumObjects()
+	scratch := &bitset.Set{}
+	var keyBuf []byte
+	var cand []int
+	seen := make([]int, n) // seen[id] == ci+1 marks id as a candidate of ci
+	for ci := 0; ci < n; ci++ {
+		c := l.concepts[ci]
+		if sizes[ci] == numObj {
+			continue // the top concept has no parents
+		}
+		// Collect the deduplicated candidate set {concept(Y ∩ row(o))}.
+		cand = cand[:0]
+		for o := 0; o < numObj; o++ {
+			if c.Extent.Has(o) {
 				continue
 			}
+			bitset.IntersectInto(scratch, c.Intent, l.ctx.Attributes(o))
+			keyBuf = scratch.AppendKey(keyBuf[:0])
+			id, ok := l.index[string(keyBuf)]
+			if !ok {
+				panic("concept: closure missing from intent index")
+			}
+			if seen[id] != ci+1 {
+				seen[id] = ci + 1
+				cand = append(cand, id)
+			}
+		}
+		// Size-layer order: ascending extent size, ties by ID for
+		// determinism. A candidate is a cover iff no cover accepted from an
+		// earlier (smaller) layer sits inside it.
+		sort.Slice(cand, func(i, j int) bool {
+			if sizes[cand[i]] != sizes[cand[j]] {
+				return sizes[cand[i]] < sizes[cand[j]]
+			}
+			return cand[i] < cand[j]
+		})
+		covers := l.parents[ci][:0]
+		for _, cj := range cand {
 			dominated := false
 			for _, k := range covers {
-				if l.concepts[k].Extent.SubsetOf(sup) {
+				if l.concepts[k].Extent.SubsetOf(l.concepts[cj].Extent) {
 					dominated = true
 					break
 				}
@@ -142,22 +222,15 @@ func (l *Lattice) linkCovers() {
 				covers = append(covers, cj)
 			}
 		}
-		for _, cj := range covers {
-			l.parents[ci] = append(l.parents[ci], cj)
-			l.children[cj] = append(l.children[cj], ci)
+		l.parents[ci] = covers
+	}
+	for ci := 0; ci < n; ci++ {
+		sort.Ints(l.parents[ci])
+		for _, p := range l.parents[ci] {
+			l.children[p] = append(l.children[p], ci)
 		}
 	}
-	// Identify top (maximal extent) and bottom (minimal extent). Both are
-	// unique in a complete lattice.
-	l.top, l.bottom = order[n-1], order[0]
-	for _, c := range l.concepts {
-		if len(l.parents[c.ID]) == 0 && c.ID != l.top {
-			// Cannot happen in a complete lattice; guard for debugging.
-			panic("concept: multiple maximal concepts")
-		}
-	}
-	for i := range l.parents {
-		sort.Ints(l.parents[i])
+	for i := range l.children {
 		sort.Ints(l.children[i])
 	}
 }
@@ -210,12 +283,10 @@ func (l *Lattice) Join(a, b int) int {
 }
 
 // byIntent finds the concept with exactly this intent; the intent must be
-// closed (σ(τ(intent)) == intent).
+// closed (σ(τ(intent)) == intent). It is a hash lookup on the intent index.
 func (l *Lattice) byIntent(intent *bitset.Set) int {
-	for _, c := range l.concepts {
-		if c.Intent.Equal(intent) {
-			return c.ID
-		}
+	if id, ok := l.index[intent.Key()]; ok {
+		return id
 	}
 	panic("concept: intent not in lattice (not closed?)")
 }
@@ -228,19 +299,14 @@ func (l *Lattice) Find(objects *bitset.Set) int {
 
 // AttributeConcept returns the ID of the maximal concept whose intent
 // contains attribute a (μa): the concept (τ({a}), σ(τ({a}))). Reduced
-// labeling shows each attribute at this concept only.
-func (l *Lattice) AttributeConcept(a int) int {
-	y := bitset.FromSlice([]int{a})
-	ext := l.ctx.Tau(y)
-	return l.byIntent(l.ctx.Sigma(ext))
-}
+// labeling shows each attribute at this concept only. The table is
+// precomputed once per lattice.
+func (l *Lattice) AttributeConcept(a int) int { return l.attrConcept[a] }
 
 // ObjectConcept returns the ID of the minimal concept whose extent contains
 // object o (γo). Reduced labeling shows each object at this concept only.
-func (l *Lattice) ObjectConcept(o int) int {
-	x := bitset.FromSlice([]int{o})
-	return l.byIntent(l.ctx.Sigma(x))
-}
+// The table is precomputed once per lattice.
+func (l *Lattice) ObjectConcept(o int) int { return l.objConcept[o] }
 
 // TopDownOrder returns concept IDs in breadth-first order from the top —
 // the traversal order of the Top-down strategy.

@@ -12,10 +12,7 @@ import (
 // incremental construction used everywhere else.
 func BuildNaive(ctx *Context) *Lattice {
 	l := &Lattice{ctx: ctx}
-	allAttrs := bitset.New(ctx.NumAttributes())
-	for a := 0; a < ctx.NumAttributes(); a++ {
-		allAttrs.Add(a)
-	}
+	allAttrs := bitset.Full(ctx.NumAttributes())
 	intents := map[string]*bitset.Set{allAttrs.Key(): allAttrs}
 	worklist := []*bitset.Set{allAttrs}
 	for len(worklist) > 0 {
@@ -41,7 +38,7 @@ func BuildNaive(ctx *Context) *Lattice {
 		c := &Concept{ID: len(l.concepts), Extent: ctx.Tau(intent), Intent: intent}
 		l.concepts = append(l.concepts, c)
 	}
-	l.linkCovers()
+	l.finalize()
 	return l
 }
 

@@ -3,6 +3,7 @@ package concept
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bitset"
@@ -36,9 +37,117 @@ func TestPropBuildersAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for iter := 0; iter < 200; iter++ {
 		c := randomContext(rng, 10, 8)
-		if !Equal(Build(c), BuildNaive(c)) {
+		opt, naive := Build(c), BuildNaive(c)
+		if !Equal(opt, naive) {
 			t.Fatalf("iter %d: builders disagree on\n%s\nincremental:\n%s\nnaive:\n%s",
-				iter, c, Build(c), BuildNaive(c))
+				iter, c, opt, naive)
+		}
+		// Equal covers concepts and cover edges up to renumbering; check
+		// top and bottom by their defining sets too.
+		if !opt.Concept(opt.Top()).Extent.Equal(naive.Concept(naive.Top()).Extent) {
+			t.Fatalf("iter %d: top extents disagree", iter)
+		}
+		if !opt.Concept(opt.Bottom()).Intent.Equal(naive.Concept(naive.Bottom()).Intent) {
+			t.Fatalf("iter %d: bottom intents disagree", iter)
+		}
+		checkLatticeInvariants(t, opt)
+		checkLatticeInvariants(t, naive)
+	}
+}
+
+// checkLatticeInvariants is the complete-lattice sanity sweep that used to
+// run (as a panic guard) inside linkCovers; it now lives in tests only.
+func checkLatticeInvariants(t *testing.T, l *Lattice) {
+	t.Helper()
+	for _, c := range l.Concepts() {
+		if len(l.Parents(c.ID)) == 0 && c.ID != l.Top() {
+			t.Fatalf("concept %d has no parents but is not the top", c.ID)
+		}
+		if len(l.Children(c.ID)) == 0 && c.ID != l.Bottom() {
+			t.Fatalf("concept %d has no children but is not the bottom", c.ID)
+		}
+		for _, p := range l.Parents(c.ID) {
+			if !c.Extent.ProperSubsetOf(l.Concept(p).Extent) {
+				t.Fatalf("parent %d of %d does not strictly contain it", p, c.ID)
+			}
+			// Cover minimality: nothing strictly between.
+			for _, mid := range l.Concepts() {
+				if mid.ID != c.ID && mid.ID != p &&
+					c.Extent.ProperSubsetOf(mid.Extent) &&
+					mid.Extent.ProperSubsetOf(l.Concept(p).Extent) {
+					t.Fatalf("concept %d lies between %d and its cover %d", mid.ID, c.ID, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPropIndexedQueriesMatchScan pits the hash-index-backed queries
+// against brute-force linear scans over all concepts.
+func TestPropIndexedQueriesMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 100; iter++ {
+		c := randomContext(rng, 10, 8)
+		l := Build(c)
+		// byIntent (via Find): scan for the concept with intent σ(X).
+		for trial := 0; trial < 5; trial++ {
+			x := bitset.New(c.NumObjects())
+			for o := 0; o < c.NumObjects(); o++ {
+				if rng.Intn(2) == 0 {
+					x.Add(o)
+				}
+			}
+			intent := c.Sigma(x)
+			want := -1
+			for _, cc := range l.Concepts() {
+				if cc.Intent.Equal(intent) {
+					want = cc.ID
+					break
+				}
+			}
+			if got := l.Find(x); got != want {
+				t.Fatalf("iter %d: Find(%s) = %d, scan = %d", iter, x, got, want)
+			}
+		}
+		// ObjectConcept: minimal concept whose extent contains o.
+		for o := 0; o < c.NumObjects(); o++ {
+			got := l.ObjectConcept(o)
+			for _, cc := range l.Concepts() {
+				if cc.Extent.Has(o) && cc.Extent.ProperSubsetOf(l.Concept(got).Extent) {
+					t.Fatalf("iter %d: ObjectConcept(%d) = %d is not minimal (%d smaller)", iter, o, got, cc.ID)
+				}
+			}
+			if !l.Concept(got).Extent.Has(o) {
+				t.Fatalf("iter %d: ObjectConcept(%d) lacks the object", iter, o)
+			}
+		}
+		// AttributeConcept: maximal concept whose intent contains a.
+		for a := 0; a < c.NumAttributes(); a++ {
+			got := l.AttributeConcept(a)
+			for _, cc := range l.Concepts() {
+				if cc.Intent.Has(a) && l.Concept(got).Extent.ProperSubsetOf(cc.Extent) {
+					t.Fatalf("iter %d: AttributeConcept(%d) = %d is not maximal (%d larger)", iter, a, got, cc.ID)
+				}
+			}
+			if !l.Concept(got).Intent.Has(a) {
+				t.Fatalf("iter %d: AttributeConcept(%d) lacks the attribute", iter, a)
+			}
+		}
+		// Meet/Join: scan for the greatest lower / least upper bound.
+		for trial := 0; trial < 10; trial++ {
+			a, b := rng.Intn(l.Len()), rng.Intn(l.Len())
+			m, j := l.Meet(a, b), l.Join(a, b)
+			for _, x := range l.Concepts() {
+				if l.Leq(x.ID, a) && l.Leq(x.ID, b) && !l.Leq(x.ID, m) {
+					t.Fatalf("iter %d: Meet(%d,%d)=%d not greatest", iter, a, b, m)
+				}
+				if l.Leq(a, x.ID) && l.Leq(b, x.ID) && !l.Leq(j, x.ID) {
+					t.Fatalf("iter %d: Join(%d,%d)=%d not least", iter, a, b, j)
+				}
+			}
+			if !l.Leq(m, a) || !l.Leq(m, b) || !l.Leq(a, j) || !l.Leq(b, j) {
+				t.Fatalf("iter %d: Meet/Join not bounds", iter)
+			}
 		}
 	}
 }
@@ -191,6 +300,43 @@ func TestTraceContextRejectsUnrecognized(t *testing.T) {
 	_, err := TraceContext([]trace.Trace{trace.ParseEvents("bad", "zzz()")}, ref)
 	if err == nil {
 		t.Fatal("TraceContext accepted unrecognized trace")
+	}
+}
+
+func TestTraceContextParallelDeterministic(t *testing.T) {
+	// The per-trace FA simulations fan out over workers; the assembled
+	// context (and thus the lattice) must be identical to a serial run.
+	b := fa.NewBuilder("ref")
+	s := b.States(1)
+	b.Start(s[0])
+	b.Accept(s[0])
+	for _, ev := range []string{"X = fopen()", "X = popen()", "fread(X)", "fwrite(X)", "fclose(X)", "pclose(X)"} {
+		b.EdgeStr(s[0], ev, s[0])
+	}
+	ref := b.MustBuild()
+	rng := rand.New(rand.NewSource(53))
+	ops := []string{"X = fopen()", "X = popen()", "fread(X)", "fwrite(X)", "fclose(X)", "pclose(X)"}
+	var traces []trace.Trace
+	for i := 0; i < 40; i++ {
+		var evs []string
+		for n := 1 + rng.Intn(6); n > 0; n-- {
+			evs = append(evs, ops[rng.Intn(len(ops))])
+		}
+		traces = append(traces, trace.ParseEvents(fmt.Sprintf("t%d", i), evs...))
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, errS := BuildFromTraces(traces, ref)
+	runtime.GOMAXPROCS(4)
+	parallel, errP := BuildFromTraces(traces, ref)
+	runtime.GOMAXPROCS(prev)
+	if errS != nil || errP != nil {
+		t.Fatal(errS, errP)
+	}
+	if !Equal(serial, parallel) {
+		t.Fatal("parallel TraceContext produced a different lattice than serial")
+	}
+	if serial.Top() != parallel.Top() || serial.Bottom() != parallel.Bottom() {
+		t.Fatal("parallel TraceContext renumbered top/bottom")
 	}
 }
 

@@ -2,7 +2,11 @@ package concept
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/fa"
 	"repro/internal/trace"
 )
@@ -16,6 +20,10 @@ import (
 // reference FA that "recognizes (at least)" the traces being clustered. A
 // rejected trace yields an error naming it, so callers can pick a coarser
 // reference FA (fa.FromTraces always works).
+//
+// The per-trace accepting-run simulations are independent, so they fan out
+// over a GOMAXPROCS-bounded worker pool; the relation is then assembled in
+// input order, making the result identical to a serial run.
 func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
 	objNames := make([]string, len(traces))
 	for i, t := range traces {
@@ -30,17 +38,53 @@ func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
 		attrNames[i] = tr.String()
 	}
 	ctx := NewContext(objNames, attrNames)
-	for o, t := range traces {
-		executed, ok := ref.Executed(t)
-		if !ok {
-			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], t.Key())
+	executed := make([]*bitset.Set, len(traces))
+	rejected := make([]bool, len(traces))
+	forEach(len(traces), func(o int) {
+		ex, ok := ref.Executed(traces[o])
+		executed[o], rejected[o] = ex, !ok
+	})
+	for o := range traces {
+		if rejected[o] {
+			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], traces[o].Key())
 		}
-		executed.Range(func(a int) bool {
+		executed[o].Range(func(a int) bool {
 			ctx.Relate(o, a)
 			return true
 		})
 	}
 	return ctx, nil
+}
+
+// forEach runs f(i) for i in [0, n), fanning out over up to GOMAXPROCS
+// workers. For n ≤ 1 or a single-processor limit it runs inline.
+func forEach(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // BuildFromTraces is the one-call form of Step 1 of the paper's method:

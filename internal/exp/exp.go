@@ -34,6 +34,11 @@ type Config struct {
 	// Scale overrides the number of scenario draws per specification; nil
 	// uses DefaultScale.
 	Scale func(specName string) int
+	// Workers bounds the per-spec parallelism of the sweep drivers (Table2,
+	// Table3, LatticeGrowth, AdvantageSweep): 0 uses GOMAXPROCS, 1 forces a
+	// serial sweep. Results are gathered in input order, so the tables are
+	// identical for every setting.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's parameters.

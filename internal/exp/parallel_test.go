@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// smallCfg keeps the determinism comparison fast: tiny workloads, few
+// Random trials, and a small Optimal budget — the point is identical
+// output, not paper-scale numbers.
+func smallCfg(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.RandomTrials = 8
+	cfg.OptimalBudget = 2000
+	cfg.Workers = workers
+	cfg.Scale = func(string) int { return 30 }
+	return cfg
+}
+
+// TestParallelSweepsDeterministic asserts that the worker-pool sweeps
+// produce byte-identical tables to a forced-serial run. Table 2's BuildTime
+// column is wall-clock and is zeroed before comparing; every other field
+// must match exactly.
+func TestParallelSweepsDeterministic(t *testing.T) {
+	serial, parallel := smallCfg(1), smallCfg(4)
+
+	s2, err := Table2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Table2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s2 {
+		s2[i].BuildTime = time.Duration(0)
+		p2[i].BuildTime = time.Duration(0)
+	}
+	if got, want := FormatTable2(p2), FormatTable2(s2); got != want {
+		t.Errorf("Table2 differs between parallel and serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+
+	s3, err := Table3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Table3(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatTable3(p3), FormatTable3(s3); got != want {
+		t.Errorf("Table3 differs between parallel and serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+
+	sg, err := LatticeGrowth(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := LatticeGrowth(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatGrowth(pg), FormatGrowth(sg); got != want {
+		t.Errorf("LatticeGrowth differs between parallel and serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+
+	sizes := []int{20, 40, 80}
+	ss, err := AdvantageSweep("XFreeGC", serial, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := AdvantageSweep("XFreeGC", parallel, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatSweep("XFreeGC", ps), FormatSweep("XFreeGC", ss); got != want {
+		t.Errorf("AdvantageSweep differs between parallel and serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+func TestParMapErrorIsFirstIndex(t *testing.T) {
+	// Whatever the scheduling, the reported error must be the lowest-index
+	// failure, matching a serial loop.
+	for _, workers := range []int{1, 3, 8} {
+		_, err := parMap(10, workers, func(i int) (int, error) {
+			if i >= 4 {
+				return 0, errAt(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail at 4" {
+			t.Errorf("workers=%d: err = %v, want \"fail at 4\"", workers, err)
+		}
+	}
+	out, err := parMap(5, 2, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+type errAt int
+
+func (e errAt) Error() string { return fmt.Sprintf("fail at %d", int(e)) }

@@ -24,20 +24,19 @@ type GrowthPoint struct {
 // specifications varied roughly linearly with the number of FA
 // transitions" despite the exponential worst case.
 func LatticeGrowth(cfg Config) ([]GrowthPoint, error) {
-	var pts []GrowthPoint
-	for _, s := range specs.All() {
-		e, err := Prepare(s, cfg)
+	all := specs.All()
+	return parMap(len(all), cfg.Workers, func(i int) (GrowthPoint, error) {
+		e, err := Prepare(all[i], cfg)
 		if err != nil {
-			return nil, err
+			return GrowthPoint{}, err
 		}
-		pts = append(pts, GrowthPoint{
-			Spec:     s.Name,
+		return GrowthPoint{
+			Spec:     all[i].Name,
 			Attrs:    e.Ref.NumTransitions(),
 			Objects:  e.Set.NumClasses(),
 			Concepts: e.Lattice.Len(),
-		})
-	}
-	return pts, nil
+		}, nil
+	})
 }
 
 // LinearFit returns the least-squares slope, intercept, and correlation
@@ -101,32 +100,30 @@ func AdvantageSweep(specName string, cfg Config, sizes []int) ([]ScalePoint, err
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown spec %q", specName)
 	}
-	var pts []ScalePoint
-	for _, n := range sizes {
+	return parMap(len(sizes), cfg.Workers, func(i int) (ScalePoint, error) {
 		c := cfg
-		size := n
+		size := sizes[i]
 		c.Scale = func(string) int { return size }
 		e, err := Prepare(spec, c)
 		if err != nil {
-			return nil, err
+			return ScalePoint{}, err
 		}
 		expert, ok := strategy.Expert(e.Lattice, e.Truth)
 		if !ok {
-			return nil, fmt.Errorf("exp: Expert failed at size %d", n)
+			return ScalePoint{}, fmt.Errorf("exp: Expert failed at size %d", size)
 		}
 		td, ok := strategy.TopDown(e.Lattice, e.Truth)
 		if !ok {
-			return nil, fmt.Errorf("exp: TopDown failed at size %d", n)
+			return ScalePoint{}, fmt.Errorf("exp: TopDown failed at size %d", size)
 		}
-		pts = append(pts, ScalePoint{
+		return ScalePoint{
 			Scenarios: e.Set.Total(),
 			Unique:    e.Set.NumClasses(),
 			Baseline:  strategy.Baseline(e.Lattice).Total(),
 			Expert:    expert.Total(),
 			TopDown:   td.Total(),
-		})
-	}
-	return pts, nil
+		}, nil
+	})
 }
 
 // FormatSweep renders the advantage sweep.

@@ -54,24 +54,25 @@ type Table2Row struct {
 }
 
 // Table2 prepares every specification and measures lattice construction.
+// Specs are prepared on a worker pool (cfg.Workers) with rows gathered in
+// corpus order.
 func Table2(cfg Config) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, s := range specs.All() {
-		e, err := Prepare(s, cfg)
+	all := specs.All()
+	return parMap(len(all), cfg.Workers, func(i int) (Table2Row, error) {
+		e, err := Prepare(all[i], cfg)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
-		rows = append(rows, Table2Row{
-			Name:      s.Name,
+		return Table2Row{
+			Name:      all[i].Name,
 			Scenarios: e.Set.Total(),
 			Unique:    e.Set.NumClasses(),
 			Attrs:     e.Ref.NumTransitions(),
 			RefKind:   e.RefKind,
 			Concepts:  e.Lattice.Len(),
 			BuildTime: e.BuildTime,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatTable2 renders Table 2 as aligned text.
@@ -94,20 +95,21 @@ type Table3Row struct {
 }
 
 // Table3 prepares every specification and measures every labeling method.
+// Specs run on a worker pool (cfg.Workers) with rows gathered in corpus
+// order.
 func Table3(cfg Config) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, s := range specs.All() {
-		e, err := Prepare(s, cfg)
+	all := specs.All()
+	return parMap(len(all), cfg.Workers, func(i int) (Table3Row, error) {
+		e, err := Prepare(all[i], cfg)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		st, err := e.RunStrategies(cfg)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
-		rows = append(rows, Table3Row{Name: s.Name, Strategies: st})
-	}
-	return rows, nil
+		return Table3Row{Name: all[i].Name, Strategies: st}, nil
+	})
 }
 
 // FormatTable3 renders Table 3 as aligned text; unmeasurable Optimal

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the lattice-engine benchmark suite and record the results
+# in BENCH_lattice.json (benchmark name → ns/op, allocs/op) so future PRs
+# can track the performance trajectory.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  go test -benchtime value (default 1s; use e.g. 10x for a
+#              quick smoke run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_lattice.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Table-2 lattice construction (the paper's headline cost), the
+# cover-linking and query micro-benchmarks, and the bitset kernels.
+go test -run '^$' -bench 'BenchmarkTable2_Lattice|BenchmarkLatticeOps' \
+    -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkBuild$|BenchmarkLinkCovers|BenchmarkLatticeQueries' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkBitset' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/bitset | tee -a "$TMP"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns != "") {
+        if (count++) printf(",\n")
+        printf("  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? "null" : allocs)
+    }
+}
+BEGIN { printf("{\n") }
+END   { printf("\n}\n") }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
