@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench obs-smoke fuzz-smoke
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke obs-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,17 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkBitset' \
 	    -benchtime 1x ./internal/concept ./internal/bitset
 
-# Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op).
+# Run cmd/paper with -metrics and assert the snapshot attributes time to
+# the pipeline phases (a span line for lattice.build must be present).
+obs-smoke:
+	$(GO) run ./cmd/paper -table 2 -metrics 2>&1 >/dev/null | tee /dev/stderr \
+	    | grep -q '^span    lattice.build '
+
+# A short fuzz pass over the trace round-trip property.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace
+
+# Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op)
+# and BENCH_obs_snapshot.txt (phase-attributed metrics snapshot).
 bench:
 	scripts/bench.sh

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cable"
 	"repro/internal/core"
 	"repro/internal/fa"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/trace"
 	"repro/internal/workspace"
@@ -33,8 +34,15 @@ func main() {
 		tracesPath = flag.String("traces", "", "trace file")
 		faPath     = flag.String("fa", "", "reference FA file (default: learn one)")
 		wsPath     = flag.String("workspace", "", "resume from a workspace file")
+		metrics    = flag.Bool("metrics", false, "collect metrics and dump a snapshot to stderr on exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	var err error
+	stop, err = obs.SetupCLI(obs.CLIConfig{Metrics: *metrics, CPUProfile: *cpuprofile, MemProfile: *memprofile})
+	die(err)
+	defer stop()
 	if *wsPath != "" {
 		wf, err := os.Open(*wsPath)
 		die(err)
@@ -47,6 +55,7 @@ func main() {
 	}
 	if *tracesPath == "" {
 		flag.Usage()
+		stop()
 		os.Exit(2)
 	}
 	f, err := os.Open(*tracesPath)
@@ -73,9 +82,14 @@ func main() {
 	repl.New(session, os.Stdout).Run(os.Stdin)
 }
 
+// stop flushes profiles and the metrics snapshot; die must run it before
+// os.Exit, which skips deferred calls.
+var stop = func() {}
+
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cable:", err)
+		stop()
 		os.Exit(1)
 	}
 }

@@ -15,24 +15,32 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/textplot"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (1, 2, or 3)")
-		figure = flag.String("figure", "", "regenerate one figure (1..10 or wf)")
-		all    = flag.Bool("all", false, "regenerate everything")
-		growth = flag.Bool("growth", false, "lattice-size-vs-transitions analysis (Section 5.2)")
-		bugs   = flag.Bool("bugs", false, "bug census by kind (the paper's 199-bugs claim)")
-		e2e    = flag.Bool("e2e", false, "mine->debug->relearn round trip vs the correct specs")
-		sweep  = flag.String("sweep", "", "Cable-advantage scaling sweep for the named spec (Section 5.3)")
-		refabl = flag.String("refablation", "", "reference-FA ablation for the named spec (Section 2.1)")
-		seed   = flag.Int64("seed", exp.DefaultConfig().Seed, "workload generation seed")
-		trials = flag.Int("trials", 1024, "Random-strategy trials to average")
-		budget = flag.Int("optbudget", 0, "Optimal-strategy state budget (0 = default)")
+		table      = flag.Int("table", 0, "regenerate one table (1, 2, or 3)")
+		figure     = flag.String("figure", "", "regenerate one figure (1..10 or wf)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		growth     = flag.Bool("growth", false, "lattice-size-vs-transitions analysis (Section 5.2)")
+		bugs       = flag.Bool("bugs", false, "bug census by kind (the paper's 199-bugs claim)")
+		e2e        = flag.Bool("e2e", false, "mine->debug->relearn round trip vs the correct specs")
+		sweep      = flag.String("sweep", "", "Cable-advantage scaling sweep for the named spec (Section 5.3)")
+		refabl     = flag.String("refablation", "", "reference-FA ablation for the named spec (Section 2.1)")
+		seed       = flag.Int64("seed", exp.DefaultConfig().Seed, "workload generation seed")
+		trials     = flag.Int("trials", 1024, "Random-strategy trials to average")
+		budget     = flag.Int("optbudget", 0, "Optimal-strategy state budget (0 = default)")
+		metrics    = flag.Bool("metrics", false, "collect metrics and dump a snapshot to stderr on exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	var err error
+	stop, err = obs.SetupCLI(obs.CLIConfig{Metrics: *metrics, CPUProfile: *cpuprofile, MemProfile: *memprofile})
+	die(err)
+	defer stop()
 	cfg := exp.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.RandomTrials = *trials
@@ -40,6 +48,7 @@ func main() {
 
 	if !*all && *table == 0 && *figure == "" && !*growth && *sweep == "" && !*bugs && !*e2e && *refabl == "" {
 		flag.Usage()
+		stop()
 		os.Exit(2)
 	}
 	if *all || *growth {
@@ -107,14 +116,20 @@ func main() {
 			fmt.Println(f)
 		} else {
 			fmt.Fprintf(os.Stderr, "paper: unknown figure %q (1..10 or wf)\n", *figure)
+			stop()
 			os.Exit(2)
 		}
 	}
 }
 
+// stop flushes profiles and the metrics snapshot; die must run it before
+// os.Exit, which skips deferred calls.
+var stop = func() {}
+
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
+		stop()
 		os.Exit(1)
 	}
 }

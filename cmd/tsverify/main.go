@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/fa"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/rank"
 	"repro/internal/trace"
@@ -39,6 +40,9 @@ func main() {
 		ranked     = flag.Bool("rank", false, "rank violation classes most-suspicious first (statistical surprise)")
 		explain    = flag.Bool("explain", false, "diagnose each violation: offending event and the events the spec expected")
 		quiet      = flag.Bool("q", false, "print only the summary line")
+		metrics    = flag.Bool("metrics", false, "collect metrics and dump a snapshot to stderr on exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if (*faPath == "" && *pattern == "") || (*tracesPath == "" && *progPath == "" && *progSrc == "") {
@@ -47,6 +51,9 @@ func main() {
 	}
 	var spec *fa.FA
 	var err error
+	stop, err = obs.SetupCLI(obs.CLIConfig{Metrics: *metrics, CPUProfile: *cpuprofile, MemProfile: *memprofile})
+	die(err)
+	defer stop()
 	if *pattern != "" {
 		spec, err = fa.Compile("pattern", *pattern)
 		die(err)
@@ -137,6 +144,7 @@ func main() {
 		die(err)
 	}
 	if vset.Total() > 0 {
+		stop()
 		os.Exit(1)
 	}
 }
@@ -150,9 +158,14 @@ func readFA(path string) (*fa.FA, error) {
 	return fa.Read(f)
 }
 
+// stop flushes profiles and the metrics snapshot; die must run it before
+// os.Exit, which skips deferred calls.
+var stop = func() {}
+
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsverify:", err)
+		stop()
 		os.Exit(1)
 	}
 }

@@ -51,8 +51,9 @@ func main() {
 	// Meets and joins exist for every pair: it is a complete lattice.
 	a := lattice.ObjectConcept(0) // γ(cat)
 	b := lattice.ObjectConcept(3) // γ(dolphin)
-	fmt.Printf("meet(γcat, γdolphin) = c%d, join = c%d\n",
-		lattice.Meet(a, b), lattice.Join(a, b))
+	meet, _ := lattice.Meet(a, b)
+	join, _ := lattice.Join(a, b)
+	fmt.Printf("meet(γcat, γdolphin) = c%d, join = c%d\n", meet, join)
 
 	// DOT for rendering with Graphviz.
 	fmt.Println("\nDOT (pipe to `dot -Tpng`):")

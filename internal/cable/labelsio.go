@@ -1,10 +1,12 @@
 package cable
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/scanio"
 )
 
 // ApplyLabels reads "<label>\t<trace key>" lines (blank lines and #
@@ -16,8 +18,7 @@ func ApplyLabels(s *Session, in io.Reader) (int, error) {
 	for i := 0; i < s.NumTraces(); i++ {
 		byKey[s.Trace(i).Key()] = i
 	}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := scanio.NewScanner(in)
 	applied, lineno := 0, 0
 	for sc.Scan() {
 		lineno++
@@ -34,5 +35,6 @@ func ApplyLabels(s *Session, in io.Reader) (int, error) {
 			applied++
 		}
 	}
-	return applied, sc.Err()
+	obs.Count("cable.labels.applied", int64(applied))
+	return applied, scanio.LineError("cable: labels", lineno+1, sc.Err())
 }

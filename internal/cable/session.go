@@ -20,6 +20,7 @@ import (
 	"repro/internal/concept"
 	"repro/internal/fa"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -77,11 +78,15 @@ type Session struct {
 // representatives, the attributes the reference FA's transitions. The
 // reference FA must accept every trace.
 func NewSession(set *trace.Set, ref *fa.FA) (*Session, error) {
+	sp := obs.StartSpan("cable.session")
+	defer sp.End()
 	reps := set.Representatives()
+	obs.SetGauge("cable.session.trace_classes", int64(len(reps)))
 	lattice, err := concept.BuildFromTraces(reps, ref)
 	if err != nil {
 		return nil, err
 	}
+	obs.SetGauge("cable.session.concepts", int64(lattice.Len()))
 	return &Session{
 		set:     set,
 		traces:  reps,

@@ -107,7 +107,10 @@ func TestLatticeAnimals(t *testing.T) {
 		seen[k] = true
 	}
 	// The concept for {haircovered, intelligent} has extent {dog, gibbon}.
-	id := l.Find(bitset.FromSlice([]int{1, 2}))
+	id, ok := l.Find(bitset.FromSlice([]int{1, 2}))
+	if !ok {
+		t.Fatal("Find not ok on own lattice")
+	}
 	got := l.Concept(id)
 	if got.Extent.String() != "{1, 2}" || got.Intent.String() != "{1, 2}" {
 		t.Errorf("Find({dog,gibbon}) = (%s, %s)", got.Extent, got.Intent)
@@ -168,12 +171,48 @@ func TestSimilarityMonotone(t *testing.T) {
 	}
 }
 
+func TestFindForeignInputsNoPanic(t *testing.T) {
+	l := Build(animals())
+	// Object bits beyond the context's object range: a set from a bigger,
+	// foreign context. Must report ok=false, not panic.
+	foreign := bitset.FromSlice([]int{0, l.Context().NumObjects() + 5})
+	if id, ok := l.Find(foreign); ok {
+		t.Errorf("Find(foreign set) = %d, ok=true; want ok=false", id)
+	}
+	// A lattice whose index no longer matches its context: simulate by
+	// building from a sub-context and asking about a row the index lacks.
+	small := NewContext([]string{"o0", "o1"}, []string{"a0", "a1"})
+	small.Relate(0, 0)
+	stale := Build(small)
+	small.Relate(1, 1) // mutate the context after the build: stale index
+	if id, ok := stale.Find(bitset.FromSlice([]int{1})); ok {
+		if stale.Concept(id) == nil {
+			t.Error("stale Find returned ok with nil concept")
+		}
+	} // ok=false is the expected outcome; ok=true is fine only if still closed
+}
+
+func TestMeetJoinBadIDs(t *testing.T) {
+	l := Build(animals())
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {l.Len(), 0}, {0, l.Len() + 7}} {
+		if id, ok := l.Meet(pair[0], pair[1]); ok {
+			t.Errorf("Meet(%d,%d) = %d, ok=true; want ok=false", pair[0], pair[1], id)
+		}
+		if id, ok := l.Join(pair[0], pair[1]); ok {
+			t.Errorf("Join(%d,%d) = %d, ok=true; want ok=false", pair[0], pair[1], id)
+		}
+	}
+}
+
 func TestMeetJoin(t *testing.T) {
 	l := Build(animals())
 	for _, a := range l.Concepts() {
 		for _, b := range l.Concepts() {
-			m := l.Meet(a.ID, b.ID)
-			j := l.Join(a.ID, b.ID)
+			m, mok := l.Meet(a.ID, b.ID)
+			j, jok := l.Join(a.ID, b.ID)
+			if !mok || !jok {
+				t.Fatalf("Meet/Join(c%d,c%d) not ok on valid IDs", a.ID, b.ID)
+			}
 			if !l.Leq(m, a.ID) || !l.Leq(m, b.ID) {
 				t.Fatalf("meet c%d of c%d,c%d not a lower bound", m, a.ID, b.ID)
 			}

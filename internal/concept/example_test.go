@@ -50,7 +50,7 @@ func ExampleBuildFromTraces() {
 	}
 	// v1 and v2 share the popen and pclose transitions, so some concept
 	// holds exactly those two traces.
-	id := lattice.Find(bitset.FromSlice([]int{0, 1}))
+	id, _ := lattice.Find(bitset.FromSlice([]int{0, 1}))
 	fmt.Println("popen concept extent:", lattice.Concept(id).Extent)
 	// Output:
 	// popen concept extent: {0, 1}

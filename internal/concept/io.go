@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/scanio"
 )
 
 // This file implements the Burmeister .cxt format, the lingua franca of
@@ -61,15 +63,14 @@ func WriteContext(w io.Writer, c *Context, name string) error {
 // ReadContext parses a Burmeister-format context, returning the context
 // and its name line (empty when absent).
 func ReadContext(r io.Reader) (*Context, string, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc := scanio.NewScanner(r)
 	// Collect lines, skipping blank lines only where the format allows.
 	var lines []string
 	for sc.Scan() {
 		lines = append(lines, sc.Text())
 	}
 	if err := sc.Err(); err != nil {
-		return nil, "", err
+		return nil, "", scanio.LineError("concept", len(lines)+1, err)
 	}
 	pos := 0
 	next := func() (string, bool) {

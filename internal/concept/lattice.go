@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/bitset"
+	"repro/internal/obs"
 )
 
 // Concept is a node of the concept lattice: a maximal rectangle (X, Y) of
@@ -46,6 +47,8 @@ type Lattice struct {
 // intersection spawns a new concept. Cover edges are computed in a final
 // pass.
 func Build(ctx *Context) *Lattice {
+	sp := obs.StartSpan("lattice.build")
+	defer sp.End()
 	l := &Lattice{ctx: ctx, index: map[string]int{}}
 
 	addConcept := func(extent, intent *bitset.Set) *Concept {
@@ -88,6 +91,7 @@ func Build(ctx *Context) *Lattice {
 		}
 	}
 	l.finalize()
+	obs.Observe("lattice.concepts", int64(len(l.concepts)))
 	return l
 }
 
@@ -108,6 +112,8 @@ func (l *Lattice) finalize() {
 // tables. γo has intent σ({o}) = row(o); μa has intent σ(τ({a})). Both are
 // closed intents, so the index resolves them directly.
 func (l *Lattice) buildTables() {
+	sp := obs.StartSpan("lattice.tables")
+	defer sp.End()
 	var keyBuf []byte
 	scratch := &bitset.Set{}
 	l.objConcept = make([]int, l.ctx.NumObjects())
@@ -155,6 +161,8 @@ func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
 // few subset tests among candidates, versus the all-pairs-plus-dominated
 // scan (cubic in concept count) this replaces.
 func (l *Lattice) linkCovers() {
+	sp := obs.StartSpan("lattice.link_covers")
+	defer sp.End()
 	n := len(l.concepts)
 	l.parents = make([][]int, n)
 	l.children = make([][]int, n)
@@ -269,31 +277,59 @@ func (l *Lattice) Leq(a, b int) bool {
 }
 
 // Meet returns the ID of the greatest lower bound of a and b: the concept
-// with extent closure of extent(a) ∩ extent(b).
-func (l *Lattice) Meet(a, b int) int {
+// with extent closure of extent(a) ∩ extent(b). ok is false when either ID
+// is out of range or the lattice's index no longer matches its context (a
+// stale lattice); the result is only meaningful when ok is true.
+func (l *Lattice) Meet(a, b int) (id int, ok bool) {
+	if !l.validID(a) || !l.validID(b) {
+		return 0, false
+	}
 	ext := bitset.Intersect(l.concepts[a].Extent, l.concepts[b].Extent)
 	intent := l.ctx.Sigma(ext)
 	return l.byIntent(intent)
 }
 
-// Join returns the ID of the least upper bound of a and b.
-func (l *Lattice) Join(a, b int) int {
+// Join returns the ID of the least upper bound of a and b, with the same
+// ok semantics as Meet.
+func (l *Lattice) Join(a, b int) (id int, ok bool) {
+	if !l.validID(a) || !l.validID(b) {
+		return 0, false
+	}
 	intent := bitset.Intersect(l.concepts[a].Intent, l.concepts[b].Intent)
 	return l.byIntent(l.ctx.Sigma(l.ctx.Tau(intent)))
 }
 
-// byIntent finds the concept with exactly this intent; the intent must be
-// closed (σ(τ(intent)) == intent). It is a hash lookup on the intent index.
-func (l *Lattice) byIntent(intent *bitset.Set) int {
-	if id, ok := l.index[intent.Key()]; ok {
-		return id
-	}
-	panic("concept: intent not in lattice (not closed?)")
+// validID reports whether id names a concept of this lattice.
+func (l *Lattice) validID(id int) bool { return id >= 0 && id < len(l.concepts) }
+
+// byIntent finds the concept with exactly this intent. For a closed intent
+// of this lattice's context the lookup always succeeds; ok is false when
+// the intent is not closed here — the symptom of an object set from a
+// foreign context or of a lattice that no longer matches its context.
+func (l *Lattice) byIntent(intent *bitset.Set) (id int, ok bool) {
+	id, ok = l.index[intent.Key()]
+	return id, ok
 }
 
 // Find returns the most specific concept whose extent contains all the
-// given objects: the concept (τ(σ(X)), σ(X)).
-func (l *Lattice) Find(objects *bitset.Set) int {
+// given objects: the concept (τ(σ(X)), σ(X)). ok is false — instead of the
+// panic earlier versions raised — when the object set references objects
+// outside the context or the closure is missing from a stale index.
+func (l *Lattice) Find(objects *bitset.Set) (id int, ok bool) {
+	// Reject foreign object sets up front: Sigma indexes context rows by
+	// object, so an out-of-range bit would panic inside it.
+	numObj := l.ctx.NumObjects()
+	inRange := true
+	objects.Range(func(o int) bool {
+		if o >= numObj {
+			inRange = false
+			return false
+		}
+		return true
+	})
+	if !inRange {
+		return 0, false
+	}
 	return l.byIntent(l.ctx.Sigma(objects))
 }
 

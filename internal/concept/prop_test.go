@@ -60,6 +60,12 @@ func TestPropBuildersAgree(t *testing.T) {
 func checkLatticeInvariants(t *testing.T, l *Lattice) {
 	t.Helper()
 	for _, c := range l.Concepts() {
+		// Every concept's own intent must resolve through the index — the
+		// closed-intent invariant that Find/Meet/Join rely on. Production
+		// code reports a miss via ok=false; here a miss is a hard failure.
+		if id, ok := l.byIntent(c.Intent); !ok || id != c.ID {
+			t.Fatalf("concept %d: intent not in index (not closed?)", c.ID)
+		}
 		if len(l.Parents(c.ID)) == 0 && c.ID != l.Top() {
 			t.Fatalf("concept %d has no parents but is not the top", c.ID)
 		}
@@ -105,7 +111,11 @@ func TestPropIndexedQueriesMatchScan(t *testing.T) {
 					break
 				}
 			}
-			if got := l.Find(x); got != want {
+			got, ok := l.Find(x)
+			if !ok {
+				t.Fatalf("iter %d: Find(%s) not ok on its own lattice", iter, x)
+			}
+			if got != want {
 				t.Fatalf("iter %d: Find(%s) = %d, scan = %d", iter, x, got, want)
 			}
 		}
@@ -136,7 +146,11 @@ func TestPropIndexedQueriesMatchScan(t *testing.T) {
 		// Meet/Join: scan for the greatest lower / least upper bound.
 		for trial := 0; trial < 10; trial++ {
 			a, b := rng.Intn(l.Len()), rng.Intn(l.Len())
-			m, j := l.Meet(a, b), l.Join(a, b)
+			m, mok := l.Meet(a, b)
+			j, jok := l.Join(a, b)
+			if !mok || !jok {
+				t.Fatalf("iter %d: Meet/Join(%d,%d) not ok on valid IDs", iter, a, b)
+			}
 			for _, x := range l.Concepts() {
 				if l.Leq(x.ID, a) && l.Leq(x.ID, b) && !l.Leq(x.ID, m) {
 					t.Fatalf("iter %d: Meet(%d,%d)=%d not greatest", iter, a, b, m)
@@ -281,7 +295,10 @@ func TestTraceContext(t *testing.T) {
 	}
 	// The two popen traces share a concept whose intent includes the popen
 	// transition.
-	id := l.Find(bitset.FromSlice([]int{0, 1}))
+	id, ok := l.Find(bitset.FromSlice([]int{0, 1}))
+	if !ok {
+		t.Fatal("Find not ok on freshly built lattice")
+	}
 	if !l.Concept(id).Intent.Has(1) {
 		t.Errorf("popen concept intent = %s", l.Concept(id).Intent)
 	}

@@ -84,10 +84,19 @@ func TestQuickLatticeAbsorption(t *testing.T) {
 		l := Build(c)
 		a := int(ai) % l.Len()
 		b := int(bi) % l.Len()
-		if l.Meet(a, l.Join(a, b)) != a {
+		j, ok := l.Join(a, b)
+		if !ok {
 			return false
 		}
-		return l.Join(a, l.Meet(a, b)) == a
+		if m, ok := l.Meet(a, j); !ok || m != a {
+			return false
+		}
+		m, ok := l.Meet(a, b)
+		if !ok {
+			return false
+		}
+		j2, ok := l.Join(a, m)
+		return ok && j2 == a
 	}, &quick.Config{MaxCount: 150})
 	if err != nil {
 		t.Fatal(err)

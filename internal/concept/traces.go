@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/fa"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -25,6 +26,9 @@ import (
 // over a GOMAXPROCS-bounded worker pool; the relation is then assembled in
 // input order, making the result identical to a serial run.
 func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
+	sp := obs.StartSpan("concept.context")
+	defer sp.End()
+	obs.Count("concept.context.traces", int64(len(traces)))
 	objNames := make([]string, len(traces))
 	for i, t := range traces {
 		name := t.ID

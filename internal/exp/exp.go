@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/concept"
 	"repro/internal/fa"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -103,8 +105,24 @@ type Experiment struct {
 // well-formed for the ground truth (mined → finer → PTA), and builds the
 // lattice.
 func Prepare(spec specs.Spec, cfg Config) (*Experiment, error) {
+	sp := obs.StartSpan("exp.prepare")
+	defer sp.End()
 	gen := xtrace.Generator{Model: spec.Model, Seed: cfg.Seed}
 	set, truthByKey := gen.ScenarioSet(cfg.scale(spec.Name))
+	// Round-trip the generated workload through the trace text format so
+	// every experiment exercises the production parse path (trace.Write →
+	// trace.Read). Serialization emits classes in order with their IDs and
+	// Read re-adds them in the same order, so class numbering, keys, and
+	// counts — and therefore every downstream table — are unchanged.
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, set); err != nil {
+		return nil, fmt.Errorf("exp: %s: serialize workload: %w", spec.Name, err)
+	}
+	reread, err := trace.Read(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: reparse workload: %w", spec.Name, err)
+	}
+	set = reread
 	truth := make([]cable.Label, set.NumClasses())
 	for i, c := range set.Classes() {
 		if truthByKey[c.Rep.Key()] {

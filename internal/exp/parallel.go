@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // parMap evaluates f(0..n-1) on up to `workers` goroutines (0 means
@@ -12,6 +15,13 @@ import (
 // would surface — so parallel sweeps are observably identical to serial
 // ones. With workers == 1 the loop runs inline and stops at the first
 // error.
+//
+// After a worker records an error, the pool drains: no new index is
+// claimed. In-flight calls still finish, and because the atomic counter
+// hands out indices in increasing order, every index below the failing one
+// has already been claimed by the time the stop flag is raised — the
+// lowest-index error is therefore always among the recorded ones even
+// though most of the remaining work is skipped.
 func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 0 {
@@ -20,35 +30,83 @@ func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	sp := obs.StartSpan("exp.parmap")
+	defer sp.End()
+	m := obs.Default()
+	start := time.Now()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			r, err := f(i)
 			if err != nil {
+				if m != nil {
+					m.Counter("exp.parmap.items").Add(int64(i + 1))
+					m.Gauge("exp.parmap.first_error_index").Set(int64(i))
+					m.Counter("exp.parmap.errors").Inc()
+				}
 				return nil, err
 			}
 			out[i] = r
+		}
+		if m != nil {
+			m.Counter("exp.parmap.items").Add(int64(n))
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				m.Gauge("exp.parmap.items_per_sec").Set(int64(float64(n) / secs))
+			}
 		}
 		return out, nil
 	}
 	errs := make([]error, n)
 	var next int64 = -1
+	var stop atomic.Bool
+	busy := make([]time.Duration, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = f(i)
+				if m != nil {
+					t0 := time.Now()
+					out[i], errs[i] = f(i)
+					busy[w] += time.Since(t0)
+				} else {
+					out[i], errs[i] = f(i)
+				}
+				if errs[i] != nil {
+					stop.Store(true)
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	if m != nil {
+		elapsed := time.Since(start)
+		claimed := atomic.LoadInt64(&next) + 1
+		if claimed > int64(n) {
+			claimed = int64(n)
+		}
+		m.Counter("exp.parmap.items").Add(claimed)
+		if secs := elapsed.Seconds(); secs > 0 {
+			m.Gauge("exp.parmap.items_per_sec").Set(int64(float64(claimed) / secs))
+		}
+		if elapsed > 0 {
+			util := m.Histogram("exp.parmap.worker_util_pct")
+			for _, b := range busy {
+				util.Observe(int64(100 * b / elapsed))
+			}
+		}
+	}
+	for i, err := range errs {
 		if err != nil {
+			if m != nil {
+				m.Gauge("exp.parmap.first_error_index").Set(int64(i))
+				m.Counter("exp.parmap.errors").Inc()
+			}
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -107,3 +108,26 @@ func TestParMapErrorIsFirstIndex(t *testing.T) {
 type errAt int
 
 func (e errAt) Error() string { return fmt.Sprintf("fail at %d", int(e)) }
+
+func TestParMapStopsAfterError(t *testing.T) {
+	// Once a worker records a failure the pool must drain instead of
+	// computing every remaining index: with f(0) failing immediately and
+	// every other call taking ~100µs, only the handful of indices claimed
+	// before the stop flag rises may run.
+	const n = 1000
+	var calls atomic.Int64
+	_, err := parMap(n, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errAt(0)
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail at 0" {
+		t.Fatalf("err = %v, want \"fail at 0\"", err)
+	}
+	if got := calls.Load(); got >= n/2 {
+		t.Errorf("f called %d times after early error, want far fewer than %d", got, n/2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/event"
+	"repro/internal/scanio"
 )
 
 // The text format for automaton files:
@@ -51,8 +52,7 @@ func Write(w io.Writer, f *FA) error {
 
 // Read parses one automaton from r.
 func Read(r io.Reader) (*FA, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := scanio.NewScanner(r)
 	var (
 		b       *Builder
 		states  int
@@ -145,7 +145,7 @@ func Read(r io.Reader) (*FA, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanio.LineError("fa", lineno+1, err)
 	}
 	if b == nil {
 		return nil, fmt.Errorf("fa: no automaton in input")

@@ -2,11 +2,14 @@ package fa
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 // Accepts reports whether some run of the automaton accepts the trace.
 func (f *FA) Accepts(t trace.Trace) bool {
+	sp := obs.StartSpan("fa.accepts")
+	defer sp.End()
 	cur := f.start.Clone()
 	for _, e := range t.Events {
 		next := bitset.New(f.numStates)
@@ -61,6 +64,8 @@ func (f *FA) RejectsAt(t trace.Trace) int {
 // states from which t[i:] can reach acceptance; transition (p --e--> q) is
 // executed iff for some i with label match at t[i], p ∈ F[i] and q ∈ B[i+1].
 func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
+	sp := obs.StartSpan("fa.executed")
+	defer sp.End()
 	n := len(t.Events)
 	fwd := make([]*bitset.Set, n+1)
 	fwd[0] = f.start.Clone()
@@ -76,6 +81,7 @@ func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
 	}
 	executed = bitset.New(len(f.trans))
 	if !fwd[n].Intersects(f.accept) {
+		obs.Count("fa.executed.rejected", 1)
 		return executed, false
 	}
 	bwd := make([]*bitset.Set, n+1)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cable"
 	"repro/internal/event"
 	"repro/internal/fa"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workspace"
 )
@@ -69,6 +70,7 @@ func (r *REPL) prompt() {
 
 // Exec executes one command line; it returns false when the user quits.
 func (r *REPL) Exec(line string) bool {
+	obs.Count("cable.repl.commands", 1)
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return true

@@ -1,0 +1,51 @@
+// Package scanio centralizes the line-scanning policy shared by every
+// text reader in the repo (trace, fa, concept, cable labels, workspace).
+//
+// Before this package existed each reader sized its own bufio.Scanner
+// buffer — some at 1 MiB, some at 4 MiB — and surfaced oversized-line
+// failures as a bare "bufio.Scanner: token too long" with no file or
+// line context. scanio fixes both: one limit, and one error-wrapping
+// helper that always names the line.
+package scanio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxLineBytes is the single line-length cap for every line-oriented
+// reader in the repo. Event lines in traces are the longest inputs we
+// see in practice; 4 MiB leaves ample headroom while still bounding
+// memory for adversarial inputs.
+const MaxLineBytes = 4 << 20
+
+// initialBufBytes is the scanner's starting buffer; it grows on demand
+// up to MaxLineBytes, so short-line files never pay for the cap.
+const initialBufBytes = 64 * 1024
+
+// NewScanner returns a line scanner over r configured with the shared
+// buffer policy. Callers should report scanner failures via LineError
+// so oversized lines are diagnosed consistently.
+func NewScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, initialBufBytes), MaxLineBytes)
+	return sc
+}
+
+// LineError wraps a scanner (or other read) error with the 1-based line
+// number where it occurred, prefixed by the subsystem name (e.g.
+// "trace", "fa"). bufio.ErrTooLong is translated into a message that
+// spells out the shared limit instead of the opaque "token too long".
+// A nil err returns nil, so callers can wrap sc.Err() unconditionally.
+func LineError(subsystem string, line int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%s: line %d: line exceeds %d-byte limit: %w",
+			subsystem, line, MaxLineBytes, err)
+	}
+	return fmt.Errorf("%s: line %d: %w", subsystem, line, err)
+}

@@ -1,0 +1,59 @@
+package scanio
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestScannerUnderLimit(t *testing.T) {
+	long := strings.Repeat("a", MaxLineBytes-1)
+	sc := NewScanner(strings.NewReader(long + "\n"))
+	if !sc.Scan() {
+		t.Fatalf("scan failed on line just under limit: %v", sc.Err())
+	}
+	if len(sc.Text()) != MaxLineBytes-1 {
+		t.Errorf("got %d bytes", len(sc.Text()))
+	}
+	if sc.Err() != nil {
+		t.Errorf("unexpected error: %v", sc.Err())
+	}
+}
+
+func TestScannerOverLimit(t *testing.T) {
+	long := strings.Repeat("a", MaxLineBytes+1)
+	sc := NewScanner(strings.NewReader(long + "\n"))
+	for sc.Scan() {
+	}
+	if !errors.Is(sc.Err(), bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", sc.Err())
+	}
+	wrapped := LineError("trace", 1, sc.Err())
+	if !strings.Contains(wrapped.Error(), "trace: line 1:") {
+		t.Errorf("wrapped = %q, missing subsystem/line prefix", wrapped)
+	}
+	if !strings.Contains(wrapped.Error(), "4194304-byte limit") {
+		t.Errorf("wrapped = %q, limit not spelled out", wrapped)
+	}
+	if !errors.Is(wrapped, bufio.ErrTooLong) {
+		t.Error("wrapped error lost the bufio.ErrTooLong cause")
+	}
+}
+
+func TestLineErrorNil(t *testing.T) {
+	if LineError("x", 3, nil) != nil {
+		t.Error("LineError(nil) != nil")
+	}
+}
+
+func TestLineErrorGeneric(t *testing.T) {
+	cause := errors.New("disk on fire")
+	got := LineError("fa", 12, cause)
+	if got.Error() != "fa: line 12: disk on fire" {
+		t.Errorf("got %q", got)
+	}
+	if !errors.Is(got, cause) {
+		t.Error("cause not wrapped")
+	}
+}

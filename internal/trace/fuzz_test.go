@@ -6,6 +6,55 @@ import (
 	"testing"
 )
 
+// FuzzTraceRoundTrip checks the Write → Read identity in depth: any set
+// Read accepts must serialize and reparse to identical classes — same
+// order, same IDs, same keys, same counts — not merely the same shape.
+// Seeds cover empty-ID records, comment/blank interleaving, and long
+// event lines (the unified scanner limit itself is exercised by
+// TestReadMaxLengthEventLine; a multi-megabyte line is too large for a
+// fuzz corpus entry).
+func FuzzTraceRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"trace\nend\n",                    // empty-ID record
+		"trace\nend\ntrace\n  f()\nend\n", // two records, both empty IDs
+		"# header\n\ntrace a\n# mid\n  f()\n\nend\n# trailer\n", // comments/blanks interleaved
+		"trace a\n  X = fopen()\n  fclose(X)\nend\n\n# c\n\ntrace a\n  X = fopen()\n  fclose(X)\nend\n",
+		"trace " + strings.Repeat("i", 512) + "\n  " + strings.Repeat("v", 1024) + " = op()\nend\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, set); err != nil {
+			t.Fatalf("Write of parsed set failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v", err)
+		}
+		if again.Total() != set.Total() || again.NumClasses() != set.NumClasses() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				set.Total(), set.NumClasses(), again.Total(), again.NumClasses())
+		}
+		for i := 0; i < set.NumClasses(); i++ {
+			a, b := set.Class(i), again.Class(i)
+			if a.Rep.Key() != b.Rep.Key() {
+				t.Fatalf("class %d key changed: %q -> %q", i, a.Rep.Key(), b.Rep.Key())
+			}
+			if a.Count != b.Count {
+				t.Fatalf("class %d count changed: %d -> %d", i, a.Count, b.Count)
+			}
+			if strings.Join(a.IDs, "\x00") != strings.Join(b.IDs, "\x00") {
+				t.Fatalf("class %d IDs changed: %q -> %q", i, a.IDs, b.IDs)
+			}
+		}
+	})
+}
+
 // FuzzRead checks that the trace-file reader never panics and that
 // anything it accepts survives a write/read round trip.
 func FuzzRead(f *testing.F) {

@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/scanio"
 )
 
 // The text format for trace files:
@@ -55,12 +57,14 @@ func WriteTrace(w io.Writer, t Trace) error {
 
 // Read parses a trace file into a Set.
 func Read(r io.Reader) (*Set, error) {
+	sp := obs.StartSpan("trace.read")
+	defer sp.End()
 	s := &Set{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := scanio.NewScanner(r)
 	var (
 		cur    *Trace
 		lineno int
+		events int64
 	)
 	for sc.Scan() {
 		lineno++
@@ -96,13 +100,17 @@ func Read(r io.Reader) (*Set, error) {
 				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
 			}
 			cur.Events = append(cur.Events, e)
+			events++
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanio.LineError("trace", lineno+1, err)
 	}
 	if cur != nil {
 		return nil, fmt.Errorf("trace: unterminated trace record %q", cur.ID)
 	}
+	obs.Count("trace.read.lines", int64(lineno))
+	obs.Count("trace.read.traces", int64(s.Total()))
+	obs.Count("trace.read.events", events)
 	return s, nil
 }

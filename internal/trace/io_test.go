@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/scanio"
+)
+
+// eventLineOfLength builds a parseable event line (indentation included)
+// of exactly n bytes: "  vvv...v = op()".
+func eventLineOfLength(n int) string {
+	const overhead = len("  ") + len(" = op()")
+	return "  " + strings.Repeat("v", n-overhead) + " = op()"
+}
+
+func TestReadMaxLengthEventLine(t *testing.T) {
+	// The longest line bufio.Scanner can return under a max token size of
+	// MaxLineBytes is MaxLineBytes-1 bytes; that line must parse.
+	line := eventLineOfLength(scanio.MaxLineBytes - 1)
+	input := "trace a\n" + line + "\nend\n"
+	set, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read at limit: %v", err)
+	}
+	if set.Total() != 1 || len(set.Class(0).Rep.Events) != 1 {
+		t.Fatalf("unexpected shape: %d traces", set.Total())
+	}
+	// And it must survive the round trip (Write re-adds the indentation).
+	var buf bytes.Buffer
+	if err := Write(&buf, set); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("reparse at limit: %v", err)
+	}
+}
+
+func TestReadOverlongLineError(t *testing.T) {
+	line := eventLineOfLength(scanio.MaxLineBytes)
+	input := "trace a\n" + line + "\nend\n"
+	_, err := Read(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("Read accepted a line over the scanner limit")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("err = %v, want wrapped bufio.ErrTooLong", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "trace: line 2:") {
+		t.Errorf("error lacks file position: %q", msg)
+	}
+	if !strings.Contains(msg, "4194304-byte limit") {
+		t.Errorf("error does not spell out the limit: %q", msg)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cable"
 	"repro/internal/fa"
+	"repro/internal/scanio"
 	"repro/internal/trace"
 )
 
@@ -69,14 +70,19 @@ func Save(w io.Writer, s *cable.Session) error {
 
 // Load reads a workspace and reconstructs the session, lattice included.
 func Load(r io.Reader) (*cable.Session, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc := scanio.NewScanner(r)
+	lineno := 0
 	if !sc.Scan() || strings.TrimSpace(sc.Text()) != header {
+		if err := sc.Err(); err != nil {
+			return nil, scanio.LineError("workspace", 1, err)
+		}
 		return nil, fmt.Errorf("workspace: missing %q header", header)
 	}
+	lineno++
 	sections := map[string]*strings.Builder{}
 	var cur *strings.Builder
 	for sc.Scan() {
+		lineno++
 		line := sc.Text()
 		switch strings.TrimSpace(line) {
 		case sectionFA, sectionTraces, sectionLabels:
@@ -96,7 +102,7 @@ func Load(r io.Reader) (*cable.Session, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanio.LineError("workspace", lineno+1, err)
 	}
 	for _, name := range []string{sectionFA, sectionTraces, sectionLabels} {
 		if sections[name] == nil {

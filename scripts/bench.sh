@@ -42,3 +42,10 @@ END   { printf("\n}\n") }
 ' "$TMP" > "$OUT"
 
 echo "wrote $OUT"
+
+# Phase-attributed metrics snapshot next to the raw numbers: where a
+# Table-2 run spends its time (trace parse, FA sim, context build, lattice
+# build, cover linking), not just how long the benchmarks took.
+SNAP="BENCH_obs_snapshot.txt"
+go run ./cmd/paper -table 2 -metrics >/dev/null 2> "$SNAP"
+echo "wrote $SNAP"
