@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench obs-smoke fuzz-smoke
+.PHONY: ci vet build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke
 
-ci: vet build race bench-smoke obs-smoke fuzz-smoke
+ci: vet build race bench-smoke obs-smoke fuzz-smoke cabled-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,13 @@ obs-smoke:
 # A short fuzz pass over the trace round-trip property.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace
+
+# Build the real cabled binary, exercise the API over TCP, and assert a
+# clean SIGTERM shutdown while a lattice build is in flight. The server
+# packages also run under the race detector (they are the concurrent
+# surface of the repo).
+cabled-smoke:
+	$(GO) test -race ./internal/server/... ./cmd/cabled
 
 # Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op)
 # and BENCH_obs_snapshot.txt (phase-attributed metrics snapshot).

@@ -153,7 +153,7 @@ func BenchmarkFigure1to6_StdioPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 		for j := 0; j < session.NumTraces(); j++ {
-			if truth[session.Trace(j).Key()] {
+			if truth[must(session.Trace(j)).Key()] {
 				session.LabelTrace(j, cable.Good)
 			} else {
 				session.LabelTrace(j, cable.Bad)
@@ -398,4 +398,13 @@ func BenchmarkWorkspaceRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

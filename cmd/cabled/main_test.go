@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fa"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// TestCabledSmoke builds the real binary, runs it, exercises the create →
+// label → export path over TCP, then delivers SIGTERM while a large
+// lattice build is in flight and requires a clean exit within the grace
+// period. This is the deployment-shaped check the in-process httptest
+// suite cannot provide.
+func TestCabledSmoke(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGTERM delivery is POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "cabled")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-metrics",
+		"-shutdown-timeout", "5s", "-request-timeout", "1m")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stderr line announces the bound address.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	if sc.Scan() {
+		line := sc.Text()
+		if i := strings.LastIndex(line, " "); i >= 0 {
+			addr = line[i+1:]
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address announced: %v", sc.Err())
+	}
+	rest := &bytes.Buffer{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			fmt.Fprintln(rest, sc.Text())
+		}
+	}()
+	base := "http://" + addr
+
+	// Quick functional pass with a small session.
+	small := fixtureJSON(t, 6)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created apiv1.CreateSessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(apiv1.LabelRequest{Concept: &created.Top, Selector: &apiv1.Selector{Mode: "all"}, Label: "good"})
+	resp, err = http.Post(base+"/v1/sessions/"+created.SessionID+"/label", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("label: status %d", resp.StatusCode)
+	}
+
+	// Fire a big build and SIGTERM mid-flight: the request context is
+	// cancelled, and the process must drain within its grace period.
+	big := fixtureJSON(t, 22) // C(22,3) = 1540 classes
+	buildErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(big))
+		if err == nil {
+			resp.Body.Close()
+		}
+		buildErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the build start
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stderr to EOF before Wait: Wait closes the pipe and would
+	// discard any buffered-but-unread shutdown output.
+	exit := make(chan error, 1)
+	go func() { <-done; exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("cabled exited uncleanly: %v\n%s", err, rest.String())
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("cabled did not shut down within the grace period")
+	}
+	<-buildErr
+	out := rest.String()
+	if !strings.Contains(out, "shutting down") || !strings.Contains(out, "cabled: stopped") {
+		t.Errorf("shutdown banner missing from stderr:\n%s", out)
+	}
+	// -metrics dumps a snapshot on exit; the request counters must be in it.
+	if !strings.Contains(out, "server.req.create_session") {
+		t.Errorf("metrics snapshot missing from stderr:\n%s", out)
+	}
+}
+
+// fixtureJSON serializes the all-3-subsets-of-n trace set and a matching
+// permissive FA as a create-session payload.
+func fixtureJSON(t *testing.T, n int) []byte {
+	t.Helper()
+	var traces []trace.Trace
+	id := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				traces = append(traces, trace.ParseEvents(fmt.Sprintf("t%d", id),
+					fmt.Sprintf("e%d()", i), fmt.Sprintf("e%d()", j), fmt.Sprintf("e%d()", k)))
+				id++
+			}
+		}
+	}
+	set := trace.NewSet(traces...)
+	var tb, fb strings.Builder
+	if err := trace.Write(&tb, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Write(&fb, fa.FromTraces(set.Alphabet())); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(apiv1.CreateSessionRequest{Traces: tb.String(), RefFA: fb.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -49,7 +49,11 @@ func main() {
 	}
 	id := mixed[0]
 	fmt.Printf("\nconcept c%d is mixed; its traces:\n", id)
-	for _, t := range session.ShowTraces(id, cable.SelectAll()) {
+	conceptTraces, err := session.ShowTraces(id, cable.SelectAll())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range conceptTraces {
 		status := "bad "
 		if truth[t.Key()] {
 			status = "good"
@@ -71,7 +75,10 @@ func main() {
 
 	// Now the good and bad traces separate: label them concept by concept.
 	for _, cid := range ss.Lattice().TopDownOrder() {
-		unl := ss.Select(cid, cable.SelectUnlabeled())
+		unl, err := ss.Select(cid, cable.SelectUnlabeled())
+		if err != nil {
+			log.Fatal(err)
+		}
 		if len(unl) == 0 {
 			continue
 		}
@@ -81,7 +88,7 @@ func main() {
 		uniform := true
 		for _, o := range unl {
 			want := cable.Bad
-			if truth[ss.Trace(o).Key()] {
+			if truth[ss.Representatives()[o].Key()] {
 				want = cable.Good
 			}
 			if label == "" {
@@ -91,13 +98,18 @@ func main() {
 			}
 		}
 		if uniform {
-			ss.LabelTraces(cid, cable.SelectUnlabeled(), label)
+			if _, err := ss.LabelTraces(cid, cable.SelectUnlabeled(), label); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	fmt.Printf("focused labeling complete: %v\n", ss.Done())
 
 	// Ending the focus merges the labels back into the parent session.
-	merged := sub.End()
+	merged, err := sub.End()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("merged %d label(s) back into the parent session\n", merged)
 	good := session.TracesWith(cable.Good).Total()
 	badN := session.TracesWith(cable.Bad).Total()
@@ -107,7 +119,7 @@ func main() {
 func truthLabels(s *cable.Session, truth xtrace.Labeling) []cable.Label {
 	out := make([]cable.Label, s.NumTraces())
 	for i := range out {
-		if truth[s.Trace(i).Key()] {
+		if truth[s.Representatives()[i].Key()] {
 			out[i] = cable.Good
 		} else {
 			out[i] = cable.Bad
@@ -117,5 +129,9 @@ func truthLabels(s *cable.Session, truth xtrace.Labeling) []cable.Label {
 }
 
 func alphabetOf(s *cable.Session, id int) []event.Event {
-	return trace.NewSet(s.ShowTraces(id, cable.SelectAll())...).Alphabet()
+	traces, err := s.ShowTraces(id, cable.SelectAll())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return trace.NewSet(traces...).Alphabet()
 }

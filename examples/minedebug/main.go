@@ -59,22 +59,30 @@ func main() {
 	// an open with its matching close are good; mismatches and leaks bad.
 	for _, id := range lattice.TopDownOrder() {
 		unl := cable.SelectUnlabeled()
-		if len(session.Select(id, unl)) == 0 {
+		sel, err := session.Select(id, unl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(sel) == 0 {
 			continue
 		}
+		shared, err := session.ShowTransitions(id, unl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ops := map[string]bool{}
-		for _, tr := range session.ShowTransitions(id, unl) {
+		for _, tr := range shared {
 			ops[tr.Label.Op] = true
 		}
 		switch {
 		case ops["fopen"] && ops["fclose"] && !ops["pclose"]:
-			session.LabelTraces(id, unl, cable.Label("good fopen"))
+			mustLabel(session.LabelTraces(id, unl, cable.Label("good fopen")))
 		case ops["popen"] && ops["pclose"] && !ops["fclose"]:
-			session.LabelTraces(id, unl, cable.Label("good popen"))
+			mustLabel(session.LabelTraces(id, unl, cable.Label("good popen")))
 		}
 	}
 	// What remains (open without close, crossed closes) is erroneous.
-	session.LabelTraces(lattice.Top(), cable.SelectUnlabeled(), cable.Bad)
+	mustLabel(session.LabelTraces(lattice.Top(), cable.SelectUnlabeled(), cable.Bad))
 	fmt.Printf("labels in use: %v\n", session.UsedLabels())
 	for _, l := range session.UsedLabels() {
 		fmt.Printf("  %-12q %3d trace(s)\n", string(l), session.TracesWith(l).Total())
@@ -112,6 +120,14 @@ func main() {
 		fmt.Printf("\n(with a single good label the bug would return: %q accepted=%v)\n",
 			badTrace.Key(), single.Accepts(badTrace))
 	}
+}
+
+// mustLabel aborts on a labeling error (impossible with in-range IDs).
+func mustLabel(n int, err error) int {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
 }
 
 // relearnWithSingleLabel redoes Step 3 with one undifferentiated good label

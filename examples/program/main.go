@@ -85,11 +85,13 @@ func main() {
 	}
 	// Label with the correct spec as the oracle (standing in for the
 	// expert's judgment).
-	for i := 0; i < session.NumTraces(); i++ {
-		if spec.Accepts(session.Trace(i)) {
-			session.LabelTrace(i, cable.Good)
-		} else {
-			session.LabelTrace(i, cable.Bad)
+	for i, t := range session.Representatives() {
+		label := cable.Bad
+		if spec.Accepts(t) {
+			label = cable.Good
+		}
+		if err := session.LabelTrace(i, label); err != nil {
+			log.Fatal(err)
 		}
 	}
 	fixed, err := core.RelearnGood(session, miner)

@@ -50,10 +50,17 @@ func main() {
 	// recognizes the popen/pclose protocol by its transitions, exactly the
 	// "Show transitions" workflow.
 	for _, id := range lattice.TopDownOrder() {
-		if session.ConceptState(id) == cable.StateFullyLabeled {
+		state, err := session.ConceptState(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if state == cable.StateFullyLabeled {
 			continue
 		}
-		shared := session.ShowTransitions(id, cable.SelectUnlabeled())
+		shared, err := session.ShowTransitions(id, cable.SelectUnlabeled())
+		if err != nil {
+			log.Fatal(err)
+		}
 		var ops []string
 		for _, t := range shared {
 			ops = append(ops, t.Label.Op)
@@ -62,12 +69,18 @@ func main() {
 		// Traces that execute both popen and pclose are correct: the spec,
 		// not the programs, is wrong about them.
 		if strings.Contains(joined, "popen") && strings.Contains(joined, "pclose") {
-			n := session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
+			n, err := session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  concept c%d shares [%s]: labeled %d class(es) good\n", id, joined, n)
 		}
 	}
 	// Everything else genuinely violates the stdio protocol.
-	n := session.LabelTraces(lattice.Top(), cable.SelectUnlabeled(), cable.Bad)
+	n, err := session.LabelTraces(lattice.Top(), cable.SelectUnlabeled(), cable.Bad)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  remaining %d class(es) labeled bad\n\n", n)
 
 	// Step 2b: check the labeling by viewing an FA for the good traces.

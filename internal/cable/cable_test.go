@@ -44,8 +44,8 @@ func TestSessionSetup(t *testing.T) {
 	if s.NumTraces() != 6 { // v0 and v6 are identical
 		t.Fatalf("NumTraces = %d, want 6", s.NumTraces())
 	}
-	if s.Multiplicity(0) != 2 {
-		t.Errorf("Multiplicity(v0) = %d, want 2", s.Multiplicity(0))
+	if must(s.Multiplicity(0)) != 2 {
+		t.Errorf("Multiplicity(v0) = %d, want 2", must(s.Multiplicity(0)))
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
@@ -54,8 +54,8 @@ func TestSessionSetup(t *testing.T) {
 		t.Error("fresh session reports Done")
 	}
 	top := s.Lattice().Top()
-	if s.ConceptState(top) != StateUnlabeled {
-		t.Errorf("top state = %v", s.ConceptState(top))
+	if must(s.ConceptState(top)) != StateUnlabeled {
+		t.Errorf("top state = %v", must(s.ConceptState(top)))
 	}
 }
 
@@ -65,8 +65,8 @@ func popenConcept(t *testing.T, s *Session) int {
 	for _, c := range s.Lattice().Concepts() {
 		wantExtent := map[int]bool{}
 		for i := 0; i < s.NumTraces(); i++ {
-			if strings.Contains(s.Trace(i).Key(), "popen()") &&
-				!strings.Contains(s.Trace(i).Key(), "fopen") {
+			if strings.Contains(must(s.Trace(i)).Key(), "popen()") &&
+				!strings.Contains(must(s.Trace(i)).Key(), "fopen") {
 				wantExtent[i] = true
 			}
 		}
@@ -99,7 +99,7 @@ func TestSection21Walkthrough(t *testing.T) {
 	var pcloseChild = -1
 	for _, ch := range s.Lattice().Children(popen) {
 		labels := map[string]bool{}
-		for _, tr := range s.ShowTransitions(ch, SelectAll()) {
+		for _, tr := range must(s.ShowTransitions(ch, SelectAll())) {
 			labels[tr.Label.String()] = true
 		}
 		if labels["X = popen()"] && labels["pclose(X)"] {
@@ -110,25 +110,25 @@ func TestSection21Walkthrough(t *testing.T) {
 	if pcloseChild < 0 {
 		t.Fatal("no popen+pclose child concept")
 	}
-	if n := s.LabelTraces(pcloseChild, SelectAll(), Good); n != 3 {
+	if n := must(s.LabelTraces(pcloseChild, SelectAll(), Good)); n != 3 {
 		t.Fatalf("labeled %d traces good, want 3", n)
 	}
-	if s.ConceptState(popen) != StatePartlyLabeled {
-		t.Errorf("popen concept state = %v after child labeling", s.ConceptState(popen))
+	if must(s.ConceptState(popen)) != StatePartlyLabeled {
+		t.Errorf("popen concept state = %v after child labeling", must(s.ConceptState(popen)))
 	}
 	// Revisit the popen concept: its unlabeled traces are the leaks.
-	rest := s.Select(popen, SelectUnlabeled())
-	if len(rest) != 1 || !strings.HasSuffix(s.Trace(rest[0]).Key(), "fread(X)") {
+	rest := must(s.Select(popen, SelectUnlabeled()))
+	if len(rest) != 1 || !strings.HasSuffix(must(s.Trace(rest[0])).Key(), "fread(X)") {
 		t.Fatalf("unexpected unlabeled remainder: %v", rest)
 	}
-	s.LabelTraces(popen, SelectUnlabeled(), Bad)
-	if s.ConceptState(popen) != StateFullyLabeled {
+	must(s.LabelTraces(popen, SelectUnlabeled(), Bad))
+	if must(s.ConceptState(popen)) != StateFullyLabeled {
 		t.Errorf("popen concept not fully labeled")
 	}
 
 	// The fopen traces remain; label them via the top concept.
 	top := s.Lattice().Top()
-	s.LabelTraces(top, SelectUnlabeled(), Bad)
+	must(s.LabelTraces(top, SelectUnlabeled(), Bad))
 	if !s.Done() {
 		t.Fatal("session not done after labeling everything")
 	}
@@ -148,20 +148,20 @@ func TestSection21Walkthrough(t *testing.T) {
 func TestLabelReplacement(t *testing.T) {
 	s := newTestSession(t)
 	top := s.Lattice().Top()
-	s.LabelTraces(top, SelectAll(), Good)
+	must(s.LabelTraces(top, SelectAll(), Good))
 	// Relabel the subset carrying "good" as "bad": every trace flips; no
 	// trace ever has two labels.
-	n := s.LabelTraces(top, SelectLabel(Good), Bad)
+	n := must(s.LabelTraces(top, SelectLabel(Good), Bad))
 	if n != s.NumTraces() {
 		t.Fatalf("relabeled %d, want %d", n, s.NumTraces())
 	}
 	for i := 0; i < s.NumTraces(); i++ {
-		if s.LabelOf(i) != Bad {
-			t.Fatalf("trace %d label = %q", i, s.LabelOf(i))
+		if must(s.LabelOf(i)) != Bad {
+			t.Fatalf("trace %d label = %q", i, must(s.LabelOf(i)))
 		}
 	}
 	// Labeling with the same label changes nothing.
-	if n := s.LabelTraces(top, SelectAll(), Bad); n != 0 {
+	if n := must(s.LabelTraces(top, SelectAll(), Bad)); n != 0 {
 		t.Errorf("no-op labeling changed %d", n)
 	}
 }
@@ -172,13 +172,13 @@ func TestConceptStatesPropagate(t *testing.T) {
 	s := newTestSession(t)
 	popen := popenConcept(t, s)
 	top := s.Lattice().Top()
-	s.LabelTraces(popen, SelectAll(), Good)
-	if s.ConceptState(top) != StatePartlyLabeled {
+	must(s.LabelTraces(popen, SelectAll(), Good))
+	if must(s.ConceptState(top)) != StatePartlyLabeled {
 		t.Errorf("top not partly labeled after descendant labeling")
 	}
-	s.LabelTraces(top, SelectAll(), Bad)
+	must(s.LabelTraces(top, SelectAll(), Bad))
 	for _, c := range s.Lattice().Concepts() {
-		if s.ConceptState(c.ID) != StateFullyLabeled {
+		if must(s.ConceptState(c.ID)) != StateFullyLabeled {
 			t.Errorf("concept %d not fully labeled after top labeling", c.ID)
 		}
 	}
@@ -202,18 +202,18 @@ func TestShowFA(t *testing.T) {
 func TestShowTransitionsNarrowing(t *testing.T) {
 	s := newTestSession(t)
 	popen := popenConcept(t, s)
-	all := s.ShowTransitions(popen, SelectAll())
+	all := must(s.ShowTransitions(popen, SelectAll()))
 	// Narrow to the eventually-good traces: shared transitions can only
 	// grow (σ is antitone).
 	var pcloseOnly Selector
-	s.LabelTraces(popen, SelectAll(), Good)
-	s.LabelTraces(popen, SelectUnlabeled(), Bad)
+	must(s.LabelTraces(popen, SelectAll(), Good))
+	must(s.LabelTraces(popen, SelectUnlabeled(), Bad))
 	pcloseOnly = SelectLabel(Good)
-	narrowed := s.ShowTransitions(popen, pcloseOnly)
+	narrowed := must(s.ShowTransitions(popen, pcloseOnly))
 	if len(narrowed) < len(all) {
 		t.Errorf("narrowed selection shares fewer transitions: %d < %d", len(narrowed), len(all))
 	}
-	if s.ShowTransitions(popen, SelectLabel("nonexistent")) != nil {
+	if must(s.ShowTransitions(popen, SelectLabel("nonexistent"))) != nil {
 		t.Error("empty selection should share no transitions")
 	}
 }
@@ -221,7 +221,7 @@ func TestShowTransitionsNarrowing(t *testing.T) {
 func TestShowTraces(t *testing.T) {
 	s := newTestSession(t)
 	top := s.Lattice().Top()
-	if got := len(s.ShowTraces(top, SelectAll())); got != 6 {
+	if got := len(must(s.ShowTraces(top, SelectAll()))); got != 6 {
 		t.Errorf("ShowTraces(top) = %d traces", got)
 	}
 }
@@ -229,8 +229,8 @@ func TestShowTraces(t *testing.T) {
 func TestDescribeConcept(t *testing.T) {
 	s := newTestSession(t)
 	top := s.Lattice().Top()
-	s.LabelTraces(top, SelectUnlabeled(), Good)
-	desc := s.DescribeConcept(top)
+	must(s.LabelTraces(top, SelectUnlabeled(), Good))
+	desc := must(s.DescribeConcept(top))
 	for _, want := range []string{"FullyLabeled", "trace class(es)", "good"} {
 		if !strings.Contains(desc, want) {
 			t.Errorf("DescribeConcept missing %q in:\n%s", want, desc)
@@ -253,8 +253,8 @@ func TestFocus(t *testing.T) {
 	if ss.NumTraces() != s.NumTraces() {
 		t.Fatalf("focus dropped traces: %d vs %d", ss.NumTraces(), s.NumTraces())
 	}
-	ss.LabelTraces(ss.Lattice().Top(), SelectAll(), Good)
-	changed := sub.End()
+	must(ss.LabelTraces(ss.Lattice().Top(), SelectAll(), Good))
+	changed := must(sub.End())
 	if changed != s.NumTraces() {
 		t.Fatalf("End changed %d labels, want %d", changed, s.NumTraces())
 	}
@@ -267,22 +267,22 @@ func TestFocusCarriesLabelsIn(t *testing.T) {
 	s := newTestSession(t)
 	top := s.Lattice().Top()
 	popen := popenConcept(t, s)
-	s.LabelTraces(popen, SelectAll(), Good)
+	must(s.LabelTraces(popen, SelectAll(), Good))
 	sub, err := s.Focus(top, SelectAll(), s.Ref())
 	if err != nil {
 		t.Fatal(err)
 	}
 	goodIn := 0
 	for i := 0; i < sub.Session().NumTraces(); i++ {
-		if sub.Session().LabelOf(i) == Good {
+		if must(sub.Session().LabelOf(i)) == Good {
 			goodIn++
 		}
 	}
-	if goodIn != len(s.Select(popen, SelectLabel(Good))) {
+	if goodIn != len(must(s.Select(popen, SelectLabel(Good)))) {
 		t.Errorf("focus carried %d good labels", goodIn)
 	}
 	// No changes in sub: End reports zero.
-	if changed := sub.End(); changed != 0 {
+	if changed := must(sub.End()); changed != 0 {
 		t.Errorf("End with no sub changes reported %d", changed)
 	}
 }
@@ -299,7 +299,7 @@ func TestMultipleGoodLabels(t *testing.T) {
 	// relearning sets apart.
 	s := newTestSession(t)
 	for i := 0; i < s.NumTraces(); i++ {
-		key := s.Trace(i).Key()
+		key := must(s.Trace(i)).Key()
 		switch {
 		case strings.Contains(key, "popen()") && strings.Contains(key, "pclose"):
 			s.labels[i] = Label("good popen")
@@ -327,4 +327,13 @@ func TestStateString(t *testing.T) {
 		!strings.Contains(StateFullyLabeled.String(), "red") {
 		t.Error("state colors wrong")
 	}
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -24,7 +24,7 @@ func Example() {
 
 	// Find the concept whose traces all execute pclose and label it good.
 	for _, id := range session.Lattice().TopDownOrder() {
-		for _, t := range session.ShowTransitions(id, cable.SelectUnlabeled()) {
+		for _, t := range must(session.ShowTransitions(id, cable.SelectUnlabeled())) {
 			if t.Label.Op == "pclose" {
 				session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
 			}
@@ -65,4 +65,13 @@ func ExampleSession_Focus() {
 	fmt.Println("suggested:", sug.Template)
 	// Output:
 	// suggested: seed XDrawString(X)
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -23,9 +23,15 @@ type Focus struct {
 
 // Focus creates a focused sub-session over the selected traces of the
 // concept, clustered by ref. Labels already assigned in the parent are
-// carried into the sub-session.
-func (s *Session) Focus(id int, sel Selector, ref *fa.FA) (*Focus, error) {
-	objs := s.Select(id, sel)
+// carried into the sub-session. The sub-session inherits the parent's
+// configuration (learner, workers, metrics); opts override it — a service
+// passes WithContext to bound the sub-lattice build by the request.
+// ErrBadConcept reports an out-of-range concept ID.
+func (s *Session) Focus(id int, sel Selector, ref *fa.FA, opts ...Option) (*Focus, error) {
+	objs, err := s.Select(id, sel)
+	if err != nil {
+		return nil, err
+	}
 	if len(objs) == 0 {
 		return nil, fmt.Errorf("cable: focus on empty selection of concept %d", id)
 	}
@@ -38,11 +44,10 @@ func (s *Session) Focus(id int, sel Selector, ref *fa.FA) (*Focus, error) {
 			sub.Add(t)
 		}
 	}
-	subSession, err := NewSession(sub, ref)
+	subSession, err := NewSession(sub, ref, append(s.options(), opts...)...)
 	if err != nil {
 		return nil, err
 	}
-	subSession.SetLearner(s.learner)
 	// Class order in sub matches first-appearance order over objs, which is
 	// the parent's increasing object order, so class i of sub corresponds
 	// to objs[i].
@@ -60,14 +65,20 @@ func (s *Session) Focus(id int, sel Selector, ref *fa.FA) (*Focus, error) {
 func (f *Focus) Session() *Session { return f.sub }
 
 // End merges the sub-session's labels back into the parent and returns the
-// number of parent traces whose label changed.
-func (f *Focus) End() int {
+// number of parent traces whose label changed. ErrBadTrace reports a
+// corrupted object map (a sub-session that no longer matches its parent) —
+// impossible through this package's API, but checked rather than trusted
+// because Focus handles flow through remote services.
+func (f *Focus) End() (int, error) {
 	changed := 0
 	for i, o := range f.objMap {
+		if !f.sub.ValidTrace(i) || !f.parent.ValidTrace(o) {
+			return changed, fmt.Errorf("%w: focus merge of sub class %d into parent class %d", ErrBadTrace, i, o)
+		}
 		if l := f.sub.labels[i]; l != f.parent.labels[o] {
 			f.parent.labels[o] = l
 			changed++
 		}
 	}
-	return changed
+	return changed, nil
 }

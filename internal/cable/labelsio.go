@@ -15,8 +15,8 @@ import (
 // shared by the REPL's load command and by workspace files.
 func ApplyLabels(s *Session, in io.Reader) (int, error) {
 	byKey := map[string]int{}
-	for i := 0; i < s.NumTraces(); i++ {
-		byKey[s.Trace(i).Key()] = i
+	for i, t := range s.Representatives() {
+		byKey[t.Key()] = i
 	}
 	sc := scanio.NewScanner(in)
 	applied, lineno := 0, 0

@@ -13,6 +13,7 @@
 package cable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,17 @@ import (
 	"repro/internal/learn"
 	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Sentinel errors for lookups with untrusted IDs. Methods taking a concept
+// ID or a trace-class index validate it and return an error wrapping one of
+// these instead of panicking, so a service can map them to 404 responses
+// with errors.Is.
+var (
+	// ErrBadConcept reports a concept ID outside the session's lattice.
+	ErrBadConcept = errors.New("cable: no such concept")
+	// ErrBadTrace reports a trace-class index outside the session's range.
+	ErrBadTrace = errors.New("cable: no such trace class")
 )
 
 // Label classifies a trace. The empty label means "not yet labeled".
@@ -64,7 +76,10 @@ func (s State) String() string {
 	}
 }
 
-// Session is a Cable debugging session.
+// Session is a Cable debugging session. Its configuration (learner,
+// worker bound, metrics registry) is fixed at construction via Options;
+// only the labels mutate afterwards, so guarding a session with one mutex
+// makes it safe for concurrent clients.
 type Session struct {
 	set     *trace.Set
 	traces  []trace.Trace // representatives; object i of the context
@@ -72,33 +87,52 @@ type Session struct {
 	lattice *concept.Lattice
 	labels  []Label
 	learner learn.Learner
+	workers int
+	metrics *obs.Metrics
 }
 
 // NewSession builds a session: the context objects are the set's class
 // representatives, the attributes the reference FA's transitions. The
-// reference FA must accept every trace.
-func NewSession(set *trace.Set, ref *fa.FA) (*Session, error) {
-	sp := obs.StartSpan("cable.session")
+// reference FA must accept every trace. Options configure the build
+// (WithContext, WithWorkers, WithLattice) and the session itself
+// (WithLearner, WithObs); the zero option set reproduces the historical
+// behavior exactly.
+func NewSession(set *trace.Set, ref *fa.FA, opts ...Option) (*Session, error) {
+	cfg := buildConfig(opts)
+	sp := cfg.metrics.StartSpan("cable.session")
 	defer sp.End()
 	reps := set.Representatives()
-	obs.SetGauge("cable.session.trace_classes", int64(len(reps)))
-	lattice, err := concept.BuildFromTraces(reps, ref)
-	if err != nil {
-		return nil, err
+	cfg.metrics.Gauge("cable.session.trace_classes").Set(int64(len(reps)))
+	lattice := cfg.lattice
+	if lattice != nil {
+		if got := lattice.Context().NumObjects(); got != len(reps) {
+			return nil, fmt.Errorf("cable: supplied lattice has %d objects for %d trace classes", got, len(reps))
+		}
+	} else {
+		var err error
+		lattice, err = concept.BuildFromTracesCtx(cfg.ctx, reps, ref, cfg.workers)
+		if err != nil {
+			return nil, err
+		}
 	}
-	obs.SetGauge("cable.session.concepts", int64(lattice.Len()))
+	cfg.metrics.Gauge("cable.session.concepts").Set(int64(lattice.Len()))
 	return &Session{
 		set:     set,
 		traces:  reps,
 		ref:     ref,
 		lattice: lattice,
 		labels:  make([]Label, len(reps)),
-		learner: learn.DefaultLearner,
+		learner: cfg.learner,
+		workers: cfg.workers,
+		metrics: cfg.metrics,
 	}, nil
 }
 
-// SetLearner replaces the FA learner used by Show FA summaries.
-func (s *Session) SetLearner(l learn.Learner) { s.learner = l }
+// options reconstructs the session's configuration, so Focus sub-sessions
+// inherit it.
+func (s *Session) options() []Option {
+	return []Option{WithLearner(s.learner), WithWorkers(s.workers), WithObs(s.metrics)}
+}
 
 // Lattice returns the session's concept lattice.
 func (s *Session) Lattice() *concept.Lattice { return s.lattice }
@@ -112,14 +146,52 @@ func (s *Session) Ref() *fa.FA { return s.ref }
 // NumTraces returns the number of trace classes (context objects).
 func (s *Session) NumTraces() int { return len(s.traces) }
 
-// Trace returns the representative trace of object i.
-func (s *Session) Trace(i int) trace.Trace { return s.traces[i] }
+// ValidConcept reports whether id names a concept of the session's lattice.
+func (s *Session) ValidConcept(id int) bool { return s.lattice.Valid(id) }
 
-// Multiplicity returns how many identical traces object i represents.
-func (s *Session) Multiplicity(i int) int { return s.set.Class(i).Count }
+// ValidTrace reports whether i names a trace class of the session.
+func (s *Session) ValidTrace(i int) bool { return i >= 0 && i < len(s.traces) }
 
-// LabelOf returns the label of object i.
-func (s *Session) LabelOf(i int) Label { return s.labels[i] }
+// badConcept wraps ErrBadConcept with the offending ID and the valid range.
+func (s *Session) badConcept(id int) error {
+	return fmt.Errorf("%w: %d (0..%d)", ErrBadConcept, id, s.lattice.Len()-1)
+}
+
+// badTrace wraps ErrBadTrace with the offending index and the valid range.
+func (s *Session) badTrace(i int) error {
+	return fmt.Errorf("%w: %d (0..%d)", ErrBadTrace, i, len(s.traces)-1)
+}
+
+// Representatives returns the representative trace of every class, indexed
+// by object. The slice is shared; do not mutate.
+func (s *Session) Representatives() []trace.Trace { return s.traces }
+
+// Trace returns the representative trace of object i, or ErrBadTrace when
+// i is out of range.
+func (s *Session) Trace(i int) (trace.Trace, error) {
+	if !s.ValidTrace(i) {
+		return trace.Trace{}, s.badTrace(i)
+	}
+	return s.traces[i], nil
+}
+
+// Multiplicity returns how many identical traces object i represents, or
+// ErrBadTrace when i is out of range.
+func (s *Session) Multiplicity(i int) (int, error) {
+	if !s.ValidTrace(i) {
+		return 0, s.badTrace(i)
+	}
+	return s.set.Class(i).Count, nil
+}
+
+// LabelOf returns the label of object i, or ErrBadTrace when i is out of
+// range.
+func (s *Session) LabelOf(i int) (Label, error) {
+	if !s.ValidTrace(i) {
+		return Unlabeled, s.badTrace(i)
+	}
+	return s.labels[i], nil
+}
 
 // Labels returns a copy of the current labeling.
 func (s *Session) Labels() []Label { return append([]Label(nil), s.labels...) }
@@ -134,8 +206,17 @@ func (s *Session) Done() bool {
 	return true
 }
 
-// ConceptState returns the labeling state of a concept.
-func (s *Session) ConceptState(id int) State {
+// ConceptState returns the labeling state of a concept, or ErrBadConcept
+// when id is out of range.
+func (s *Session) ConceptState(id int) (State, error) {
+	if !s.ValidConcept(id) {
+		return StateUnlabeled, s.badConcept(id)
+	}
+	return s.state(id), nil
+}
+
+// state computes the labeling state of a validated concept ID.
+func (s *Session) state(id int) State {
 	labeled, unlabeled := 0, 0
 	s.lattice.Concept(id).Extent.Range(func(o int) bool {
 		if s.labels[o] == Unlabeled {
@@ -184,8 +265,16 @@ func (sel Selector) matches(l Label) bool {
 }
 
 // Select returns the object indices of the concept's traces matched by the
-// selector, in increasing order.
-func (s *Session) Select(id int, sel Selector) []int {
+// selector, in increasing order, or ErrBadConcept when id is out of range.
+func (s *Session) Select(id int, sel Selector) ([]int, error) {
+	if !s.ValidConcept(id) {
+		return nil, s.badConcept(id)
+	}
+	return s.selectObjs(id, sel), nil
+}
+
+// selectObjs is Select over a validated concept ID.
+func (s *Session) selectObjs(id int, sel Selector) []int {
 	var out []int
 	s.lattice.Concept(id).Extent.Range(func(o int) bool {
 		if sel.matches(s.labels[o]) {
@@ -197,26 +286,34 @@ func (s *Session) Select(id int, sel Selector) []int {
 }
 
 // LabelTrace assigns a label to a single trace class directly, bypassing
-// the concept-based UI. Interactive debugging goes through LabelTraces;
-// this entry point exists for tools that replay a known labeling (ground
-// truth in experiments, saved labelings in the REPL).
-func (s *Session) LabelTrace(i int, label Label) {
+// the concept-based UI; ErrBadTrace reports an out-of-range index.
+// Interactive debugging goes through LabelTraces; this entry point exists
+// for tools that replay a known labeling (ground truth in experiments,
+// saved labelings in the REPL).
+func (s *Session) LabelTrace(i int, label Label) error {
+	if !s.ValidTrace(i) {
+		return s.badTrace(i)
+	}
 	s.labels[i] = label
+	return nil
 }
 
 // LabelTraces implements the "Label traces" command: give every selected
 // trace of the concept the label, replacing any existing labels (no trace
 // ever carries more than one label). It returns the number of traces whose
-// label changed.
-func (s *Session) LabelTraces(id int, sel Selector, label Label) int {
+// label changed, or ErrBadConcept when id is out of range.
+func (s *Session) LabelTraces(id int, sel Selector, label Label) (int, error) {
+	if !s.ValidConcept(id) {
+		return 0, s.badConcept(id)
+	}
 	changed := 0
-	for _, o := range s.Select(id, sel) {
+	for _, o := range s.selectObjs(id, sel) {
 		if s.labels[o] != label {
 			s.labels[o] = label
 			changed++
 		}
 	}
-	return changed
+	return changed, nil
 }
 
 // TracesWith collects all traces carrying the label into a set, with the
@@ -254,10 +351,11 @@ func (s *Session) UsedLabels() []Label {
 	return out
 }
 
-// extentOf returns the extent bitset of selected objects.
+// extentOf returns the extent bitset of selected objects of a validated
+// concept ID.
 func (s *Session) extentOf(id int, sel Selector) *bitset.Set {
 	out := bitset.New(len(s.traces))
-	for _, o := range s.Select(id, sel) {
+	for _, o := range s.selectObjs(id, sel) {
 		out.Add(o)
 	}
 	return out

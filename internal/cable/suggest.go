@@ -34,7 +34,10 @@ type Suggestion struct {
 // returns an error if the concept's labeled traces do not disagree (no
 // split needed) or if no template separates them.
 func (s *Session) SuggestFocus(id int) (Suggestion, error) {
-	objs := s.Select(id, SelectAll())
+	objs, err := s.Select(id, SelectAll())
+	if err != nil {
+		return Suggestion{}, err
+	}
 	var traces []trace.Trace
 	var labels []Label
 	distinct := map[Label]bool{}

@@ -15,9 +15,13 @@ import (
 // ShowFA infers an FA from the selected traces of the concept with the
 // session's learner — "the most frequently used summary because the FA is
 // often short and clear". With SelectLabel on the top concept after all
-// labeling is done, it summarizes an entire label class.
+// labeling is done, it summarizes an entire label class. ErrBadConcept
+// reports an out-of-range concept ID.
 func (s *Session) ShowFA(id int, sel Selector) (*fa.FA, error) {
-	objs := s.Select(id, sel)
+	objs, err := s.Select(id, sel)
+	if err != nil {
+		return nil, err
+	}
 	traces := make([]trace.Trace, 0, len(objs))
 	for _, o := range objs {
 		// Learn from the multiset so frequencies steer the learner the way
@@ -41,7 +45,16 @@ func (s *Session) setClass(o int) trace.Class { return s.set.Class(o) }
 // concept's intent; for narrower selections it is σ of the selection, which
 // can only grow. "The user often knows that the label for a trace depends
 // on whether the trace executes a certain set of transitions."
-func (s *Session) ShowTransitions(id int, sel Selector) []fa.Transition {
+// ErrBadConcept reports an out-of-range concept ID.
+func (s *Session) ShowTransitions(id int, sel Selector) ([]fa.Transition, error) {
+	if !s.ValidConcept(id) {
+		return nil, s.badConcept(id)
+	}
+	return s.sharedTransitions(id, sel), nil
+}
+
+// sharedTransitions is ShowTransitions over a validated concept ID.
+func (s *Session) sharedTransitions(id int, sel Selector) []fa.Transition {
 	ext := s.extentOf(id, sel)
 	if ext.Empty() {
 		return nil
@@ -57,21 +70,29 @@ func (s *Session) ShowTransitions(id int, sel Selector) []fa.Transition {
 
 // ShowTraces returns the selected traces themselves — "not used very often
 // because it usually generates more output than the user can understand".
-func (s *Session) ShowTraces(id int, sel Selector) []trace.Trace {
-	objs := s.Select(id, sel)
+// ErrBadConcept reports an out-of-range concept ID.
+func (s *Session) ShowTraces(id int, sel Selector) ([]trace.Trace, error) {
+	objs, err := s.Select(id, sel)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]trace.Trace, len(objs))
 	for i, o := range objs {
 		out[i] = s.traces[o]
 	}
-	return out
+	return out, nil
 }
 
 // DescribeConcept renders a one-screen summary of a concept: state, sizes,
 // intent transitions, and label census. The REPL's "info" command.
-func (s *Session) DescribeConcept(id int) string {
+// ErrBadConcept reports an out-of-range concept ID.
+func (s *Session) DescribeConcept(id int) (string, error) {
+	if !s.ValidConcept(id) {
+		return "", s.badConcept(id)
+	}
 	var b strings.Builder
 	c := s.lattice.Concept(id)
-	fmt.Fprintf(&b, "concept c%d: %s\n", id, s.ConceptState(id))
+	fmt.Fprintf(&b, "concept c%d: %s\n", id, s.state(id))
 	fmt.Fprintf(&b, "  %d trace class(es), %d total trace(s), similarity %d\n",
 		c.Extent.Len(), s.totalCount(id), c.Intent.Len())
 	census := map[Label]int{}
@@ -88,17 +109,18 @@ func (s *Session) DescribeConcept(id int) string {
 		}
 	}
 	fmt.Fprintf(&b, "  shared transitions:\n")
-	for _, t := range s.ShowTransitions(id, SelectAll()) {
+	for _, t := range s.sharedTransitions(id, SelectAll()) {
 		fmt.Fprintf(&b, "    %s\n", t)
 	}
 	fmt.Fprintf(&b, "  parents: %v  children: %v\n", s.lattice.Parents(id), s.lattice.Children(id))
-	return b.String()
+	return b.String(), nil
 }
 
+// totalCount sums the multiplicities of a validated concept's classes.
 func (s *Session) totalCount(id int) int {
 	total := 0
 	s.lattice.Concept(id).Extent.Range(func(o int) bool {
-		total += s.Multiplicity(o)
+		total += s.set.Class(o).Count
 		return true
 	})
 	return total

@@ -1,6 +1,7 @@
 package concept
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -49,7 +50,7 @@ func BenchmarkLinkCovers(b *testing.B) {
 	b.Run("Fast", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			l.linkCovers()
+			l.linkCovers(context.Background())
 		}
 	})
 	b.Run("AllPairs", func(b *testing.B) {

@@ -1,6 +1,7 @@
 package concept
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,8 +46,21 @@ type Lattice struct {
 // one at a time; each existing concept whose intent survives intersection
 // with the new object's row is modified in place, and each novel
 // intersection spawns a new concept. Cover edges are computed in a final
-// pass.
+// pass. It is BuildCtx without cancellation.
 func Build(ctx *Context) *Lattice {
+	l, err := BuildCtx(context.Background(), ctx)
+	if err != nil {
+		// Background is never done, so BuildCtx cannot fail.
+		panic("concept: Build: " + err.Error())
+	}
+	return l
+}
+
+// BuildCtx is Build with cancellation for callers serving remote requests:
+// the done state of cc is checked between object insertions and between
+// per-concept cover computations, so a cancelled build of a large lattice
+// returns cc.Err() promptly instead of running to completion.
+func BuildCtx(cc context.Context, ctx *Context) (*Lattice, error) {
 	sp := obs.StartSpan("lattice.build")
 	defer sp.End()
 	l := &Lattice{ctx: ctx, index: map[string]int{}}
@@ -67,7 +81,13 @@ func Build(ctx *Context) *Lattice {
 	// only materialized (cloned) when it is a novel intent.
 	scratch := &bitset.Set{}
 	var keyBuf []byte
+	done := cc.Done()
 	for o := 0; o < ctx.NumObjects(); o++ {
+		select {
+		case <-done:
+			return nil, cc.Err()
+		default:
+		}
 		row := ctx.Attributes(o)
 		snapshot := l.concepts // new concepts are appended; iterate old only
 		n := len(snapshot)
@@ -90,22 +110,35 @@ func Build(ctx *Context) *Lattice {
 			addConcept(extent, inter)
 		}
 	}
-	l.finalize()
+	if err := l.finalizeCtx(cc); err != nil {
+		return nil, err
+	}
 	obs.Observe("lattice.concepts", int64(len(l.concepts)))
-	return l
+	return l, nil
 }
 
 // finalize computes the Hasse diagram and the query tables; the intent
 // index must already be populated.
 func (l *Lattice) finalize() {
+	if err := l.finalizeCtx(context.Background()); err != nil {
+		panic("concept: finalize: " + err.Error())
+	}
+}
+
+// finalizeCtx is finalize with cancellation checked between per-concept
+// cover computations.
+func (l *Lattice) finalizeCtx(cc context.Context) error {
 	if l.index == nil {
 		l.index = make(map[string]int, len(l.concepts))
 		for _, c := range l.concepts {
 			l.index[c.Intent.Key()] = c.ID
 		}
 	}
-	l.linkCovers()
+	if err := l.linkCovers(cc); err != nil {
+		return err
+	}
 	l.buildTables()
+	return nil
 }
 
 // buildTables precomputes the ObjectConcept and AttributeConcept lookup
@@ -160,7 +193,7 @@ func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
 // already accepted from smaller layers. Worst case O(n·|O|) lookups plus a
 // few subset tests among candidates, versus the all-pairs-plus-dominated
 // scan (cubic in concept count) this replaces.
-func (l *Lattice) linkCovers() {
+func (l *Lattice) linkCovers(cc context.Context) error {
 	sp := obs.StartSpan("lattice.link_covers")
 	defer sp.End()
 	n := len(l.concepts)
@@ -168,7 +201,7 @@ func (l *Lattice) linkCovers() {
 	l.children = make([][]int, n)
 	if n == 0 {
 		l.top, l.bottom = 0, 0
-		return
+		return nil
 	}
 	sizes := make([]int, n)
 	l.top, l.bottom = 0, 0
@@ -186,7 +219,13 @@ func (l *Lattice) linkCovers() {
 	var keyBuf []byte
 	var cand []int
 	seen := make([]int, n) // seen[id] == ci+1 marks id as a candidate of ci
+	done := cc.Done()
 	for ci := 0; ci < n; ci++ {
+		select {
+		case <-done:
+			return cc.Err()
+		default:
+		}
 		c := l.concepts[ci]
 		if sizes[ci] == numObj {
 			continue // the top concept has no parents
@@ -241,6 +280,7 @@ func (l *Lattice) linkCovers() {
 	for i := range l.children {
 		sort.Ints(l.children[i])
 	}
+	return nil
 }
 
 // Context returns the context the lattice was built from.
@@ -262,13 +302,29 @@ func (l *Lattice) Top() int { return l.top }
 // Bottom returns the ID of the bottom concept (intent = all attributes).
 func (l *Lattice) Bottom() int { return l.bottom }
 
-// Parents returns the IDs of the concepts covering id (immediately above).
-func (l *Lattice) Parents(id int) []int { return l.parents[id] }
+// Valid reports whether id names a concept of this lattice. Callers
+// handling untrusted IDs (e.g. a network service) check Valid before using
+// the positional accessors.
+func (l *Lattice) Valid(id int) bool { return l.validID(id) }
+
+// Parents returns the IDs of the concepts covering id (immediately above),
+// or nil when id is out of range.
+func (l *Lattice) Parents(id int) []int {
+	if !l.validID(id) {
+		return nil
+	}
+	return l.parents[id]
+}
 
 // Children returns the IDs of the concepts covered by id (immediately
-// below). These are the "concepts immediately below this concept" a Cable
-// user descends into.
-func (l *Lattice) Children(id int) []int { return l.children[id] }
+// below), or nil when id is out of range. These are the "concepts
+// immediately below this concept" a Cable user descends into.
+func (l *Lattice) Children(id int) []int {
+	if !l.validID(id) {
+		return nil
+	}
+	return l.children[id]
+}
 
 // Leq reports whether concept a ≤ concept b in the lattice order
 // (extent(a) ⊆ extent(b)).

@@ -1,6 +1,7 @@
 package concept
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,7 +16,13 @@ import (
 // TraceContext builds the formal context of Section 3.2 from a set of traces
 // and a reference FA: objects are the traces, attributes are the FA's
 // transitions, and (o, a) ∈ R iff transition a lies on some accepting run of
-// the FA on o.
+// the FA on o. It is TraceContextCtx without cancellation or a worker bound.
+func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
+	return TraceContextCtx(context.Background(), traces, ref, 0)
+}
+
+// TraceContextCtx is TraceContext with cancellation and an explicit worker
+// bound (0 means GOMAXPROCS).
 //
 // Every trace must be accepted by the reference FA — the paper requires a
 // reference FA that "recognizes (at least)" the traces being clustered. A
@@ -23,9 +30,11 @@ import (
 // reference FA (fa.FromTraces always works).
 //
 // The per-trace accepting-run simulations are independent, so they fan out
-// over a GOMAXPROCS-bounded worker pool; the relation is then assembled in
-// input order, making the result identical to a serial run.
-func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
+// over a bounded worker pool; the relation is then assembled in input
+// order, making the result identical to a serial run. Cancellation is
+// checked between traces: once ctx is done no new simulation starts and
+// ctx.Err() is returned.
+func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, workers int) (*Context, error) {
 	sp := obs.StartSpan("concept.context")
 	defer sp.End()
 	obs.Count("concept.context.traces", int64(len(traces)))
@@ -41,45 +50,65 @@ func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
 	for i, tr := range ref.Transitions() {
 		attrNames[i] = tr.String()
 	}
-	ctx := NewContext(objNames, attrNames)
+	fc := NewContext(objNames, attrNames)
 	executed := make([]*bitset.Set, len(traces))
 	rejected := make([]bool, len(traces))
-	forEach(len(traces), func(o int) {
+	if err := forEach(ctx, len(traces), workers, func(o int) {
 		ex, ok := ref.Executed(traces[o])
 		executed[o], rejected[o] = ex, !ok
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for o := range traces {
 		if rejected[o] {
 			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], traces[o].Key())
 		}
 		executed[o].Range(func(a int) bool {
-			ctx.Relate(o, a)
+			fc.Relate(o, a)
 			return true
 		})
 	}
-	return ctx, nil
+	return fc, nil
 }
 
-// forEach runs f(i) for i in [0, n), fanning out over up to GOMAXPROCS
-// workers. For n ≤ 1 or a single-processor limit it runs inline.
-func forEach(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// forEach runs f(i) for i in [0, n), fanning out over up to `workers`
+// goroutines (0 means GOMAXPROCS). For n ≤ 1 or a single-worker limit it
+// runs inline. Cancellation is checked before each item; once ctx is done
+// no new item is claimed and ctx.Err() is returned (in-flight items still
+// finish, so f never runs concurrently with the caller's error handling).
+func forEach(ctx context.Context, n, workers int, f func(i int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			f(i)
 		}
-		return
+		return nil
 	}
 	var next int64 = -1
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					cancelled.Store(true)
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -89,15 +118,26 @@ func forEach(n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // BuildFromTraces is the one-call form of Step 1 of the paper's method:
 // compute the context of traces × executed transitions and construct its
 // concept lattice.
 func BuildFromTraces(traces []trace.Trace, ref *fa.FA) (*Lattice, error) {
-	ctx, err := TraceContext(traces, ref)
+	return BuildFromTracesCtx(context.Background(), traces, ref, 0)
+}
+
+// BuildFromTracesCtx is BuildFromTraces with cancellation and a worker
+// bound, for callers serving remote requests: a done ctx aborts both the
+// context computation and the lattice construction between work items.
+func BuildFromTracesCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, workers int) (*Lattice, error) {
+	fc, err := TraceContextCtx(ctx, traces, ref, workers)
 	if err != nil {
 		return nil, err
 	}
-	return Build(ctx), nil
+	return BuildCtx(ctx, fc)
 }

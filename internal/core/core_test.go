@@ -15,7 +15,7 @@ import (
 // standing in for the human labeler.
 func labelByTruth(s *Session, truth xtrace.Labeling) {
 	for i := 0; i < s.NumTraces(); i++ {
-		if truth[s.Trace(i).Key()] {
+		if truth[must(s.Trace(i)).Key()] {
 			s.LabelTrace(i, cable.Good)
 		} else {
 			s.LabelTrace(i, cable.Bad)
@@ -41,7 +41,7 @@ func TestDebugViolationsFlow(t *testing.T) {
 	// and erroneous leaks (program bugs).
 	sawGood, sawBad := false, false
 	for i := 0; i < session.NumTraces(); i++ {
-		if truth[session.Trace(i).Key()] {
+		if truth[must(session.Trace(i)).Key()] {
 			sawGood = true
 		} else {
 			sawBad = true
@@ -185,7 +185,7 @@ func TestRelearnGoodMultipleLabels(t *testing.T) {
 	}
 	// Assign split good labels by protocol, bad otherwise.
 	for i := 0; i < session.NumTraces(); i++ {
-		key := session.Trace(i).Key()
+		key := must(session.Trace(i)).Key()
 		switch {
 		case !truth[key]:
 			session.LabelTrace(i, cable.Bad)
@@ -238,7 +238,7 @@ func TestDebugProgramStatic(t *testing.T) {
 	// Label by the correct spec's verdict and fix; the fixed spec then
 	// accepts strictly more of the program's good behaviour.
 	for i := 0; i < session.NumTraces(); i++ {
-		if stdio.FA.Accepts(session.Trace(i)) {
+		if stdio.FA.Accepts(must(session.Trace(i))) {
 			session.LabelTrace(i, cable.Good)
 		} else {
 			session.LabelTrace(i, cable.Bad)
@@ -260,4 +260,13 @@ func TestDebugProgramStatic(t *testing.T) {
 	if err != nil || session != nil || violations != nil {
 		t.Errorf("conforming program produced a session: %v %v %v", session, violations, err)
 	}
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

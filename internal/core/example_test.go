@@ -26,7 +26,7 @@ func Example() {
 
 	// Label through the lattice: the traces executing pclose are good.
 	for _, id := range session.Lattice().TopDownOrder() {
-		for _, t := range session.ShowTransitions(id, cable.SelectUnlabeled()) {
+		for _, t := range must(session.ShowTransitions(id, cable.SelectUnlabeled())) {
 			if t.Label.Op == "pclose" {
 				session.LabelTraces(id, cable.SelectUnlabeled(), cable.Good)
 			}
@@ -46,4 +46,11 @@ func Example() {
 	// violations: 3
 	// fixed accepts popen;pclose: true
 	// fixed rejects the leak: true
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -62,18 +62,22 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 		return row, err
 	}
 	badClasses := 0
-	for i := 0; i < session.NumTraces(); i++ {
-		key := session.Trace(i).Key()
+	for i, t := range session.Representatives() {
+		key := t.Key()
 		good, known := truth[key]
 		if !known {
 			return row, fmt.Errorf("exp: %s: extracted scenario %q missing from ground truth", spec.Name, key)
 		}
+		label := cable.Bad
 		if good {
-			session.LabelTrace(i, cable.Good)
-		} else {
-			session.LabelTrace(i, cable.Bad)
+			label = cable.Good
+		}
+		if err := session.LabelTrace(i, label); err != nil {
+			return row, err
+		}
+		if !good {
 			badClasses++
-			if mined.Accepts(session.Trace(i)) {
+			if mined.Accepts(t) {
 				row.MinedAcceptsBad++
 			}
 		}
@@ -85,10 +89,11 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 
 	// Training-set fidelity: every good class accepted.
 	goodClasses, goodAccepted := 0, 0
-	for i := 0; i < session.NumTraces(); i++ {
-		if session.LabelOf(i) == cable.Good {
+	labels := session.Labels()
+	for i, t := range session.Representatives() {
+		if labels[i] == cable.Good {
 			goodClasses++
-			if relearned.Accepts(session.Trace(i)) {
+			if relearned.Accepts(t) {
 				goodAccepted++
 			}
 		}
@@ -109,8 +114,8 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 		row.GoodAgreement = float64(accepted) / float64(len(sample))
 	}
 	rejected := 0
-	for i := 0; i < session.NumTraces(); i++ {
-		if session.LabelOf(i) == cable.Bad && !relearned.Accepts(session.Trace(i)) {
+	for i, t := range session.Representatives() {
+		if labels[i] == cable.Bad && !relearned.Accepts(t) {
 			rejected++
 		}
 	}

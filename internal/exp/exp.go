@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"time"
@@ -24,6 +25,10 @@ import (
 
 // Config controls experiment scale and determinism.
 type Config struct {
+	// Context, when non-nil, cancels in-flight sweeps early: the parallel
+	// drivers check it between work items and return its error. Nil means
+	// context.Background().
+	Context context.Context
 	// Seed drives workload generation; rows are deterministic per seed.
 	Seed int64
 	// RandomTrials is the number of Random-strategy trials to average (the
@@ -64,6 +69,14 @@ func DefaultScale(specName string) int {
 	default:
 		return 90
 	}
+}
+
+// ctx returns the sweep context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c Config) scale(name string) int {

@@ -65,11 +65,13 @@ func Figures(cfg Config) (map[string]string, error) {
 		session.Lattice().String() + "\n" + session.Lattice().Dot("figure5")
 
 	// Figure 6: the fixed specification.
-	for i := 0; i < session.NumTraces(); i++ {
-		if truth[session.Trace(i).Key()] {
-			session.LabelTrace(i, cable.Good)
-		} else {
-			session.LabelTrace(i, cable.Bad)
+	for i, t := range session.Representatives() {
+		label := cable.Bad
+		if truth[t.Key()] {
+			label = cable.Good
+		}
+		if err := session.LabelTrace(i, label); err != nil {
+			return nil, err
 		}
 	}
 	fixed, err := core.FixSpec(buggy, session)

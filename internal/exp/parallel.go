@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,7 +15,9 @@ import (
 // error for the lowest index is returned — the same error a serial loop
 // would surface — so parallel sweeps are observably identical to serial
 // ones. With workers == 1 the loop runs inline and stops at the first
-// error.
+// error. Cancelling ctx stops the pool between work items: no new index is
+// claimed once ctx is done, and ctx.Err() is returned (taking precedence
+// over any work error at a higher index).
 //
 // After a worker records an error, the pool drains: no new index is
 // claimed. In-flight calls still finish, and because the atomic counter
@@ -22,7 +25,7 @@ import (
 // has already been claimed by the time the stop flag is raised — the
 // lowest-index error is therefore always among the recorded ones even
 // though most of the remaining work is skipped.
-func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+func parMap[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -36,6 +39,12 @@ func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	start := time.Now()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if m != nil {
+					m.Counter("exp.parmap.cancelled").Inc()
+				}
+				return nil, err
+			}
 			r, err := f(i)
 			if err != nil {
 				if m != nil {
@@ -65,6 +74,12 @@ func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 		go func(w int) {
 			defer wg.Done()
 			for !stop.Load() {
+				select {
+				case <-ctx.Done():
+					stop.Store(true)
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -100,6 +115,12 @@ func parMap[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 				util.Observe(int64(100 * b / elapsed))
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		if m != nil {
+			m.Counter("exp.parmap.cancelled").Inc()
+		}
+		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {

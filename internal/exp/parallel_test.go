@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -84,7 +85,7 @@ func TestParMapErrorIsFirstIndex(t *testing.T) {
 	// Whatever the scheduling, the reported error must be the lowest-index
 	// failure, matching a serial loop.
 	for _, workers := range []int{1, 3, 8} {
-		_, err := parMap(10, workers, func(i int) (int, error) {
+		_, err := parMap(context.Background(), 10, workers, func(i int) (int, error) {
 			if i >= 4 {
 				return 0, errAt(i)
 			}
@@ -94,7 +95,7 @@ func TestParMapErrorIsFirstIndex(t *testing.T) {
 			t.Errorf("workers=%d: err = %v, want \"fail at 4\"", workers, err)
 		}
 	}
-	out, err := parMap(5, 2, func(i int) (int, error) { return i * i, nil })
+	out, err := parMap(context.Background(), 5, 2, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestParMapStopsAfterError(t *testing.T) {
 	// before the stop flag rises may run.
 	const n = 1000
 	var calls atomic.Int64
-	_, err := parMap(n, 4, func(i int) (int, error) {
+	_, err := parMap(context.Background(), n, 4, func(i int) (int, error) {
 		calls.Add(1)
 		if i == 0 {
 			return 0, errAt(0)
@@ -129,5 +130,30 @@ func TestParMapStopsAfterError(t *testing.T) {
 	}
 	if got := calls.Load(); got >= n/2 {
 		t.Errorf("f called %d times after early error, want far fewer than %d", got, n/2)
+	}
+}
+
+func TestParMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := parMap(ctx, 1000, 4, func(i int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop the pool: %d items ran", n)
+	}
+
+	// A pre-cancelled context stops a serial map before any work.
+	ran := false
+	_, err = parMap(ctx, 5, 1, func(i int) (int, error) { ran = true; return i, nil })
+	if err != context.Canceled || ran {
+		t.Errorf("serial pre-cancelled: err=%v ran=%v", err, ran)
 	}
 }

@@ -25,7 +25,7 @@ type GrowthPoint struct {
 // transitions" despite the exponential worst case.
 func LatticeGrowth(cfg Config) ([]GrowthPoint, error) {
 	all := specs.All()
-	return parMap(len(all), cfg.Workers, func(i int) (GrowthPoint, error) {
+	return parMap(cfg.ctx(), len(all), cfg.Workers, func(i int) (GrowthPoint, error) {
 		e, err := Prepare(all[i], cfg)
 		if err != nil {
 			return GrowthPoint{}, err
@@ -100,7 +100,7 @@ func AdvantageSweep(specName string, cfg Config, sizes []int) ([]ScalePoint, err
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown spec %q", specName)
 	}
-	return parMap(len(sizes), cfg.Workers, func(i int) (ScalePoint, error) {
+	return parMap(cfg.ctx(), len(sizes), cfg.Workers, func(i int) (ScalePoint, error) {
 		c := cfg
 		size := sizes[i]
 		c.Scale = func(string) int { return size }

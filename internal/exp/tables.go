@@ -58,7 +58,7 @@ type Table2Row struct {
 // corpus order.
 func Table2(cfg Config) ([]Table2Row, error) {
 	all := specs.All()
-	return parMap(len(all), cfg.Workers, func(i int) (Table2Row, error) {
+	return parMap(cfg.ctx(), len(all), cfg.Workers, func(i int) (Table2Row, error) {
 		e, err := Prepare(all[i], cfg)
 		if err != nil {
 			return Table2Row{}, err
@@ -99,7 +99,7 @@ type Table3Row struct {
 // order.
 func Table3(cfg Config) ([]Table3Row, error) {
 	all := specs.All()
-	return parMap(len(all), cfg.Workers, func(i int) (Table3Row, error) {
+	return parMap(cfg.ctx(), len(all), cfg.Workers, func(i int) (Table3Row, error) {
 		e, err := Prepare(all[i], cfg)
 		if err != nil {
 			return Table3Row{}, err

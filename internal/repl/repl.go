@@ -84,11 +84,19 @@ func (r *REPL) Exec(line string) bool {
 	case "tree":
 		fmt.Fprint(r.out, s.Lattice().Tree(func(id int) string {
 			c := s.Lattice().Concept(id)
+			state, _ := s.ConceptState(id)
 			return fmt.Sprintf("%s, %d class(es), similarity %d",
-				s.ConceptState(id), c.Extent.Len(), c.Intent.Len())
+				state, c.Extent.Len(), c.Intent.Len())
 		}))
 	case "info":
-		r.withConcept(s, fields, func(id int) { fmt.Fprint(r.out, s.DescribeConcept(id)) })
+		r.withConcept(s, fields, func(id int) {
+			desc, err := s.DescribeConcept(id)
+			if err != nil {
+				fmt.Fprintln(r.out, "error:", err)
+				return
+			}
+			fmt.Fprint(r.out, desc)
+		})
 	case "fa":
 		r.withConcept(s, fields, func(id int) {
 			sum, err := s.ShowFA(id, parseSelector(fields[2:]))
@@ -100,14 +108,26 @@ func (r *REPL) Exec(line string) bool {
 		})
 	case "trans":
 		r.withConcept(s, fields, func(id int) {
-			for _, t := range s.ShowTransitions(id, parseSelector(fields[2:])) {
+			shared, err := s.ShowTransitions(id, parseSelector(fields[2:]))
+			if err != nil {
+				fmt.Fprintln(r.out, "error:", err)
+				return
+			}
+			for _, t := range shared {
 				fmt.Fprintf(r.out, "  %s\n", t)
 			}
 		})
 	case "traces":
 		r.withConcept(s, fields, func(id int) {
-			for _, o := range s.Select(id, parseSelector(fields[2:])) {
-				fmt.Fprintf(r.out, "  [%s] x%d %s\n", labelName(s.LabelOf(o)), s.Multiplicity(o), s.Trace(o).Key())
+			sel, err := s.Select(id, parseSelector(fields[2:]))
+			if err != nil {
+				fmt.Fprintln(r.out, "error:", err)
+				return
+			}
+			labels, reps := s.Labels(), s.Representatives()
+			for _, o := range sel {
+				count, _ := s.Multiplicity(o)
+				fmt.Fprintf(r.out, "  [%s] x%d %s\n", labelName(labels[o]), count, reps[o].Key())
 			}
 		})
 	case "label":
@@ -116,7 +136,11 @@ func (r *REPL) Exec(line string) bool {
 			return true
 		}
 		r.withConcept(s, fields, func(id int) {
-			n := s.LabelTraces(id, parseSelector(fields[3:]), cable.Label(fields[2]))
+			n, err := s.LabelTraces(id, parseSelector(fields[3:]), cable.Label(fields[2]))
+			if err != nil {
+				fmt.Fprintln(r.out, "error:", err)
+				return
+			}
 			fmt.Fprintf(r.out, "labeled %d trace class(es) %q\n", n, fields[2])
 		})
 	case "focus":
@@ -141,7 +165,12 @@ func (r *REPL) Exec(line string) bool {
 		}
 		top := r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-		fmt.Fprintf(r.out, "merged %d label(s) back\n", top.focus.End())
+		merged, err := top.focus.End()
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			return true
+		}
+		fmt.Fprintf(r.out, "merged %d label(s) back\n", merged)
 	case "good":
 		if len(fields) != 2 {
 			fmt.Fprintln(r.out, "usage: good <label>")
@@ -200,8 +229,8 @@ func (r *REPL) Exec(line string) bool {
 		}
 	case "done":
 		unlabeled := 0
-		for i := 0; i < s.NumTraces(); i++ {
-			if s.LabelOf(i) == cable.Unlabeled {
+		for _, l := range s.Labels() {
+			if l == cable.Unlabeled {
 				unlabeled++
 			}
 		}
@@ -218,8 +247,9 @@ func (r *REPL) Exec(line string) bool {
 func (r *REPL) list(s *cable.Session) {
 	for _, id := range s.Lattice().TopDownOrder() {
 		c := s.Lattice().Concept(id)
+		state, _ := s.ConceptState(id)
 		fmt.Fprintf(r.out, "  c%-3d %-22s %3d class(es), similarity %d\n",
-			id, s.ConceptState(id), c.Extent.Len(), c.Intent.Len())
+			id, state, c.Extent.Len(), c.Intent.Len())
 	}
 }
 
@@ -246,9 +276,9 @@ func (r *REPL) save(s *cable.Session, path string) {
 		return
 	}
 	var lines []string
-	for i := 0; i < s.NumTraces(); i++ {
-		if l := s.LabelOf(i); l != cable.Unlabeled {
-			lines = append(lines, fmt.Sprintf("%s\t%s", l, s.Trace(i).Key()))
+	for i, l := range s.Labels() {
+		if l != cable.Unlabeled {
+			lines = append(lines, fmt.Sprintf("%s\t%s", l, s.Representatives()[i].Key()))
 		}
 	}
 	sort.Strings(lines)
@@ -318,7 +348,11 @@ func parseSelector(words []string) cable.Selector {
 // focusFA builds the Focus template requested on the command line
 // (Section 4.1's unordered, name-projection, and seed-order templates).
 func focusFA(s *cable.Session, id int, words []string) (*fa.FA, error) {
-	alphabet := trace.NewSet(s.ShowTraces(id, cable.SelectAll())...).Alphabet()
+	traces, err := s.ShowTraces(id, cable.SelectAll())
+	if err != nil {
+		return nil, err
+	}
+	alphabet := trace.NewSet(traces...).Alphabet()
 	switch words[0] {
 	case "auto":
 		sug, err := s.SuggestFocus(id)

@@ -1,0 +1,181 @@
+// Package apiv1 defines the versioned JSON request and response types of
+// the cabled session service. The wire format is the compatibility
+// surface: handlers and clients marshal exactly these structs, and the
+// golden files under testdata/ pin every shape so accidental field
+// renames fail tests rather than remote tools.
+//
+// Traces and finite automata cross the wire in the repository's existing
+// text formats (internal/trace and internal/fa), not as JSON trees: the
+// formats are line-oriented, diffable, and already produced by the miner
+// and the REPL's save command, so a curl invocation can lift a file
+// straight into a request body.
+package apiv1
+
+// CreateSessionRequest starts a debugging session from a trace multiset
+// and a reference FA, both in their text serializations.
+type CreateSessionRequest struct {
+	// Traces is the internal/trace text format: one "count<TAB>events"
+	// class per line.
+	Traces string `json:"traces"`
+	// RefFA is the internal/fa text format of the reference automaton
+	// whose executed-transition rows form the concept context.
+	RefFA string `json:"ref_fa"`
+	// Workers bounds lattice-build parallelism; 0 uses GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// CreateSessionResponse reports the new session and its lattice size.
+type CreateSessionResponse struct {
+	// SessionID is the opaque handle for all later calls.
+	SessionID string `json:"session_id"`
+	// NumTraces is the number of distinct trace classes.
+	NumTraces int `json:"num_traces"`
+	// NumConcepts is the size of the built concept lattice.
+	NumConcepts int `json:"num_concepts"`
+	// Top is the concept ID of the lattice's top element.
+	Top int `json:"top"`
+	// CacheHit reports whether the lattice came from the server's cache
+	// instead of a fresh build (same traces and reference FA as an
+	// earlier session).
+	CacheHit bool `json:"cache_hit"`
+}
+
+// SessionInfo summarizes one live session for list/describe calls.
+type SessionInfo struct {
+	SessionID   string `json:"session_id"`
+	NumTraces   int    `json:"num_traces"`
+	NumConcepts int    `json:"num_concepts"`
+	// Labeled counts trace classes that currently carry a label.
+	Labeled int `json:"labeled"`
+	// Done reports whether every trace class is labeled.
+	Done bool `json:"done"`
+	// Focus reports whether this is a Focus sub-session; its labels merge
+	// into the parent when the focus ends.
+	Focus bool `json:"focus,omitempty"`
+	// Parent is the owning session's ID when Focus is true.
+	Parent string `json:"parent,omitempty"`
+}
+
+// SessionList is the list-sessions response.
+type SessionList struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// Selector picks a subset of a concept's traces, mirroring
+// cable.Selector. Mode is "all", "unlabeled", or "label"; Label is
+// consulted only when Mode is "label".
+type Selector struct {
+	Mode  string `json:"mode"`
+	Label string `json:"label,omitempty"`
+}
+
+// Concept is one lattice element's summary: the Cable "list"/"info" views.
+type Concept struct {
+	ID int `json:"id"`
+	// State is "Unlabeled", "PartlyLabeled", or "FullyLabeled".
+	State string `json:"state"`
+	// NumClasses is the extent size (distinct trace classes).
+	NumClasses int `json:"num_classes"`
+	// TotalTraces sums the classes' multiplicities.
+	TotalTraces int `json:"total_traces"`
+	// Similarity is the intent size — shared executed transitions.
+	Similarity int `json:"similarity"`
+	Parents    []int `json:"parents"`
+	Children   []int `json:"children"`
+	// Transitions renders the shared reference-FA transitions; present
+	// only in the single-concept view.
+	Transitions []string `json:"transitions,omitempty"`
+}
+
+// ConceptList is the list-concepts response, in top-down lattice order.
+type ConceptList struct {
+	Concepts []Concept `json:"concepts"`
+}
+
+// LabelRequest labels traces. Either Trace names one trace class, or
+// Concept plus Selector names a concept subset (the Cable "label c5 good
+// unlabeled" command).
+type LabelRequest struct {
+	Trace    *int      `json:"trace,omitempty"`
+	Concept  *int      `json:"concept,omitempty"`
+	Selector *Selector `json:"selector,omitempty"`
+	Label    string    `json:"label"`
+}
+
+// LabelResponse reports how many trace classes changed label.
+type LabelResponse struct {
+	Labeled int `json:"labeled"`
+}
+
+// TraceClass is one trace class with its current label.
+type TraceClass struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	Count int    `json:"count"`
+	Label string `json:"label,omitempty"`
+}
+
+// TraceList is the list-traces response.
+type TraceList struct {
+	Traces []TraceClass `json:"traces"`
+}
+
+// SuggestRequest asks for a Focus template separating a mixed concept.
+type SuggestRequest struct {
+	Concept int `json:"concept"`
+}
+
+// SuggestResponse carries the winning template and its reference FA.
+type SuggestResponse struct {
+	// Template names the Section 4.1 template: "unordered",
+	// "project <name>", or "seed <event>".
+	Template string `json:"template"`
+	// RefFA is the suggested automaton in the internal/fa text format,
+	// ready to feed back into a focus request.
+	RefFA string `json:"ref_fa"`
+}
+
+// FocusRequest opens a Focus sub-session over a concept subset with a
+// different reference FA.
+type FocusRequest struct {
+	Concept  int       `json:"concept"`
+	Selector *Selector `json:"selector,omitempty"`
+	// RefFA is the focus automaton in the internal/fa text format.
+	RefFA string `json:"ref_fa"`
+}
+
+// FocusResponse hands back the sub-session, usable with every session
+// endpoint plus end-focus.
+type FocusResponse struct {
+	SessionID   string `json:"session_id"`
+	NumTraces   int    `json:"num_traces"`
+	NumConcepts int    `json:"num_concepts"`
+}
+
+// EndFocusResponse reports the merge when a focus sub-session ends.
+type EndFocusResponse struct {
+	// Merged counts the labels copied back into the parent session.
+	Merged int `json:"merged"`
+}
+
+// LabelsExport is the saved-labels view: the same "<label>\t<key>" lines
+// the REPL's save command writes, one entry per labeled class.
+type LabelsExport struct {
+	Labels []LabelLine `json:"labels"`
+}
+
+// LabelLine is one exported label.
+type LabelLine struct {
+	Label string `json:"label"`
+	Key   string `json:"key"`
+}
+
+// Error is the uniform failure envelope; every non-2xx response body is
+// one of these.
+type Error struct {
+	// Code is a stable machine-readable slug: "bad_request", "not_found",
+	// "conflict", "timeout", or "internal".
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}

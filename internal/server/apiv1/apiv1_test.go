@@ -1,0 +1,193 @@
+package apiv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldens pins the wire shape of every DTO: marshalling a populated value
+// must reproduce the checked-in JSON byte for byte. A failing case means
+// the v1 contract changed — that needs a v2, not a golden refresh.
+var goldens = []struct {
+	name string
+	v    any
+}{
+	{"create_session_request", CreateSessionRequest{
+		Traces:  "trace v0\n  X = popen()\n  pclose(X)\nend\n",
+		RefFA:   "fa ref\nstates 1\nstart 0\naccept 0\nedge 0 0 *()\nend\n",
+		Workers: 4,
+	}},
+	{"create_session_response", CreateSessionResponse{
+		SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
+		NumTraces:   6,
+		NumConcepts: 9,
+		Top:         8,
+		CacheHit:    true,
+	}},
+	{"session_info", SessionInfo{
+		SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
+		NumTraces:   6,
+		NumConcepts: 9,
+		Labeled:     4,
+		Done:        false,
+		Focus:       true,
+		Parent:      "0123456789abcdef0123456789abcdef",
+	}},
+	{"session_list", SessionList{Sessions: []SessionInfo{{
+		SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
+		NumTraces:   6,
+		NumConcepts: 9,
+	}}}},
+	{"concept", Concept{
+		ID:          3,
+		State:       "PartlyLabeled",
+		NumClasses:  4,
+		TotalTraces: 5,
+		Similarity:  2,
+		Parents:     []int{8},
+		Children:    []int{1, 2},
+		Transitions: []string{"0 -> 0 on X = popen()", "0 -> 0 on pclose(X)"},
+	}},
+	{"concept_list", ConceptList{Concepts: []Concept{{
+		ID:         8,
+		State:      "Unlabeled",
+		NumClasses: 6,
+		Similarity: 0,
+		Parents:    []int{},
+		Children:   []int{3, 5},
+	}}}},
+	{"label_request_concept", LabelRequest{
+		Concept:  ptr(3),
+		Selector: &Selector{Mode: "label", Label: "good"},
+		Label:    "bad",
+	}},
+	{"label_request_trace", LabelRequest{Trace: ptr(0), Label: "good"}},
+	{"label_response", LabelResponse{Labeled: 3}},
+	{"trace_list", TraceList{Traces: []TraceClass{
+		{Index: 0, Key: "X = popen(); pclose(X)", Count: 2, Label: "good"},
+		{Index: 1, Key: "X = popen(); fread(X)", Count: 1},
+	}}},
+	{"suggest_request", SuggestRequest{Concept: 3}},
+	{"suggest_response", SuggestResponse{
+		Template: "project X",
+		RefFA:    "fa project-X\nstates 2\nstart 0\naccept 1\nend\n",
+	}},
+	{"focus_request", FocusRequest{
+		Concept:  3,
+		Selector: &Selector{Mode: "unlabeled"},
+		RefFA:    "fa focus\nstates 1\nstart 0\naccept 0\nend\n",
+	}},
+	{"focus_response", FocusResponse{
+		SessionID:   "abadcafeabadcafeabadcafeabadcafe",
+		NumTraces:   3,
+		NumConcepts: 4,
+	}},
+	{"end_focus_response", EndFocusResponse{Merged: 2}},
+	{"labels_export", LabelsExport{Labels: []LabelLine{
+		{Label: "good", Key: "X = popen(); pclose(X)"},
+		{Label: "bad", Key: "X = popen(); fread(X)"},
+	}}},
+	{"error", Error{Code: "not_found", Message: `cable: no such concept: 99 (lattice has 9)`}},
+}
+
+func TestGoldens(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(g.v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", g.name+".json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip re-decodes each golden into its zero type and
+// re-encodes, catching asymmetric tags (a field that marshals but cannot
+// unmarshal back to the same bytes).
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", g.name+".json"))
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			fresh := newZero(g.v)
+			if err := json.Unmarshal(data, fresh); err != nil {
+				t.Fatal(err)
+			}
+			again, err := json.MarshalIndent(fresh, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(again, data) {
+				t.Errorf("decode/encode round trip not stable:\n--- again ---\n%s--- golden ---\n%s", again, data)
+			}
+		})
+	}
+}
+
+// newZero returns a pointer to a fresh zero value of v's type, via a
+// marshal of the type's nil pointer — no reflection import needed beyond
+// encoding/json's own.
+func newZero(v any) any {
+	switch v.(type) {
+	case CreateSessionRequest:
+		return &CreateSessionRequest{}
+	case CreateSessionResponse:
+		return &CreateSessionResponse{}
+	case SessionInfo:
+		return &SessionInfo{}
+	case SessionList:
+		return &SessionList{}
+	case Concept:
+		return &Concept{}
+	case ConceptList:
+		return &ConceptList{}
+	case LabelRequest:
+		return &LabelRequest{}
+	case LabelResponse:
+		return &LabelResponse{}
+	case TraceList:
+		return &TraceList{}
+	case SuggestRequest:
+		return &SuggestRequest{}
+	case SuggestResponse:
+		return &SuggestResponse{}
+	case FocusRequest:
+		return &FocusRequest{}
+	case FocusResponse:
+		return &FocusResponse{}
+	case EndFocusResponse:
+		return &EndFocusResponse{}
+	case LabelsExport:
+		return &LabelsExport{}
+	case Error:
+		return &Error{}
+	default:
+		panic("add the new DTO to newZero")
+	}
+}
+
+func ptr(i int) *int { return &i }

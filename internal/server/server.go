@@ -1,0 +1,607 @@
+// Package server hosts concurrent Cable debugging sessions behind a
+// stdlib-only HTTP/JSON service. Each session wraps a cable.Session keyed
+// by an opaque ID; per-session mutexes serialize labeling on one session
+// while distinct sessions proceed in parallel. Built lattices are cached
+// in an LRU keyed by the (trace set, reference FA) fingerprint, so
+// re-uploading known inputs skips concept.Build. Request deadlines are
+// enforced with context.Context and propagate into the lattice build, so
+// a cancelled upload or a server shutdown abandons its build between
+// work items instead of running it to completion.
+//
+// The wire types live in the versioned internal/server/apiv1 package;
+// this package contains only transport and lifecycle.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cable"
+	"repro/internal/fa"
+	"repro/internal/obs"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// Config sizes and paces the service.
+type Config struct {
+	// RequestTimeout bounds each request, including lattice builds;
+	// 0 means no per-request deadline.
+	RequestTimeout time.Duration
+	// IdleTimeout evicts sessions untouched for this long; 0 disables
+	// eviction.
+	IdleTimeout time.Duration
+	// CacheSize is the lattice LRU capacity; 0 disables the cache.
+	CacheSize int
+	// Workers caps lattice-build parallelism for requests that do not
+	// set their own; 0 uses GOMAXPROCS.
+	Workers int
+	// Metrics receives instrumentation; nil uses the process default
+	// registry (which may itself be nil — all instruments no-op then).
+	Metrics *obs.Metrics
+}
+
+// Server is the cabled service: construct with New, mount Handler on an
+// http.Server, and run Janitor alongside if idle eviction is wanted.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	store   *store
+	cache   *latticeCache
+	mux     *http.ServeMux
+}
+
+// New builds a Server with its routes mounted.
+func New(cfg Config) *Server {
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		store:   newStore(m),
+		cache:   newLatticeCache(cfg.CacheSize, m),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.handleListSessions))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("get_session", s.handleGetSession))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
+	mux.HandleFunc("GET /v1/sessions/{id}/concepts", s.instrument("list_concepts", s.handleListConcepts))
+	mux.HandleFunc("GET /v1/sessions/{id}/concepts/{cid}", s.instrument("get_concept", s.handleGetConcept))
+	mux.HandleFunc("GET /v1/sessions/{id}/traces", s.instrument("list_traces", s.handleListTraces))
+	mux.HandleFunc("POST /v1/sessions/{id}/label", s.instrument("label", s.handleLabel))
+	mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.instrument("suggest", s.handleSuggest))
+	mux.HandleFunc("POST /v1/sessions/{id}/focus", s.instrument("focus", s.handleFocus))
+	mux.HandleFunc("POST /v1/sessions/{id}/end", s.instrument("end_focus", s.handleEndFocus))
+	mux.HandleFunc("GET /v1/sessions/{id}/labels", s.instrument("export_labels", s.handleExportLabels))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Janitor evicts idle sessions every interval until ctx is done. It is a
+// no-op loop when idle eviction is disabled.
+func (s *Server) Janitor(ctx context.Context, interval time.Duration) {
+	if s.cfg.IdleTimeout <= 0 {
+		return
+	}
+	if interval <= 0 {
+		interval = s.cfg.IdleTimeout / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.store.evictIdle(s.cfg.IdleTimeout)
+		}
+	}
+}
+
+// EvictIdleNow runs one eviction sweep immediately; exported for tests
+// and operational tooling.
+func (s *Server) EvictIdleNow() int { return s.store.evictIdle(s.cfg.IdleTimeout) }
+
+// handlerFunc is an endpoint body: it gets the request-scoped context
+// (with the per-request deadline applied) and returns an error already
+// classified by the http* helpers, or nil after writing a response.
+type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) error
+
+// instrument wraps an endpoint with the per-endpoint counter, latency
+// span, deadline, and the uniform error envelope.
+func (s *Server) instrument(name string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Counter("server.req." + name).Inc()
+		sp := s.metrics.StartSpan("server.latency." + name)
+		defer sp.End()
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		if err := h(ctx, w, r); err != nil {
+			s.metrics.Counter("server.err." + name).Inc()
+			s.writeError(w, err)
+		}
+	}
+}
+
+// httpError carries a status and a stable code through handler returns.
+type httpError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error {
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", err: err}
+}
+
+func notFound(err error) error {
+	return &httpError{status: http.StatusNotFound, code: "not_found", err: err}
+}
+
+func conflict(err error) error {
+	return &httpError{status: http.StatusConflict, code: "conflict", err: err}
+}
+
+// classify maps domain errors that handlers pass through untouched:
+// cable's sentinel errors to 404, context errors to timeout/shutdown
+// statuses, everything else to 500.
+func classify(err error) (status int, code string) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status, he.code
+	case errors.Is(err, cable.ErrBadConcept), errors.Is(err, cable.ErrBadTrace):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "cancelled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	writeJSON(w, status, apiv1.Error{Code: code, Message: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// decodeJSON reads a request body into v, rejecting unknown fields so
+// typos in client payloads fail loudly instead of silently defaulting.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("decoding request: %w", err))
+	}
+	return nil
+}
+
+// withSession resolves the {id} path value (session or focus-session ID),
+// locks its entry, and runs fn with the target session. The entry lock
+// spans fn, so handler bodies never race on one session.
+func (s *Server) withSession(r *http.Request, fn func(e *entry, sess *cable.Session) error) error {
+	id := r.PathValue("id")
+	res, ok := s.store.resolve(id)
+	if !ok {
+		return notFound(fmt.Errorf("no session %q", id))
+	}
+	res.entry.mu.Lock()
+	defer res.entry.mu.Unlock()
+	sess := res.session
+	if res.focusID != "" {
+		f, ok := res.entry.focuses[res.focusID]
+		if !ok {
+			return notFound(fmt.Errorf("focus session %q has ended", id))
+		}
+		sess = f.Session()
+	}
+	return fn(res.entry, sess)
+}
+
+func parseSelector(sel *apiv1.Selector) (cable.Selector, error) {
+	if sel == nil {
+		return cable.SelectAll(), nil
+	}
+	switch sel.Mode {
+	case "", "all":
+		return cable.SelectAll(), nil
+	case "unlabeled":
+		return cable.SelectUnlabeled(), nil
+	case "label":
+		if sel.Label == "" {
+			return cable.Selector{}, badRequest(errors.New(`selector mode "label" needs a label`))
+		}
+		return cable.SelectLabel(cable.Label(sel.Label)), nil
+	default:
+		return cable.Selector{}, badRequest(fmt.Errorf("unknown selector mode %q", sel.Mode))
+	}
+}
+
+func (s *Server) handleCreateSession(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	set, err := trace.Read(strings.NewReader(req.Traces))
+	if err != nil {
+		return badRequest(fmt.Errorf("traces: %w", err))
+	}
+	if set.NumClasses() == 0 {
+		return badRequest(errors.New("traces: empty trace set"))
+	}
+	ref, err := fa.Read(strings.NewReader(req.RefFA))
+	if err != nil {
+		return badRequest(fmt.Errorf("ref_fa: %w", err))
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	key := cacheKey(set, ref)
+	opts := []cable.Option{
+		cable.WithContext(ctx),
+		cable.WithObs(s.metrics),
+		cable.WithWorkers(workers),
+	}
+	hit := false
+	if l := s.cache.Get(key); l != nil {
+		opts = append(opts, cable.WithLattice(l))
+		hit = true
+	}
+	sess, err := cable.NewSession(set, ref, opts...)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return badRequest(err)
+	}
+	if !hit {
+		s.cache.Put(key, sess.Lattice())
+	}
+	id, err := s.store.add(sess)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, apiv1.CreateSessionResponse{
+		SessionID:   id,
+		NumTraces:   sess.NumTraces(),
+		NumConcepts: sess.Lattice().Len(),
+		Top:         sess.Lattice().Top(),
+		CacheHit:    hit,
+	})
+	return nil
+}
+
+func (s *Server) sessionInfo(e *entry, sess *cable.Session, focus bool, id string) apiv1.SessionInfo {
+	labeled := 0
+	for _, l := range sess.Labels() {
+		if l != cable.Unlabeled {
+			labeled++
+		}
+	}
+	info := apiv1.SessionInfo{
+		SessionID:   id,
+		NumTraces:   sess.NumTraces(),
+		NumConcepts: sess.Lattice().Len(),
+		Labeled:     labeled,
+		Done:        sess.Done(),
+		Focus:       focus,
+	}
+	if focus {
+		info.Parent = e.id
+	}
+	return info
+}
+
+func (s *Server) handleListSessions(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	entries := s.store.list()
+	list := apiv1.SessionList{Sessions: []apiv1.SessionInfo{}}
+	for _, e := range entries {
+		e.mu.Lock()
+		list.Sessions = append(list.Sessions, s.sessionInfo(e, e.session, false, e.id))
+		e.mu.Unlock()
+	}
+	// Map iteration order is random; pin a stable listing.
+	sortSessions(list.Sessions)
+	writeJSON(w, http.StatusOK, list)
+	return nil
+}
+
+func sortSessions(ss []apiv1.SessionInfo) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].SessionID < ss[j-1].SessionID; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func (s *Server) handleGetSession(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		focus := sess != e.session
+		writeJSON(w, http.StatusOK, s.sessionInfo(e, sess, focus, r.PathValue("id")))
+		return nil
+	})
+}
+
+func (s *Server) handleDeleteSession(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if !s.store.remove(id) {
+		return notFound(fmt.Errorf("no session %q (focus sessions are ended, not deleted)", id))
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// stateSlug maps a concept state to its stable wire form, without the
+// display-color suffix cable.State.String carries for the terminal UI.
+func stateSlug(st cable.State) string {
+	switch st {
+	case cable.StateUnlabeled:
+		return "Unlabeled"
+	case cable.StatePartlyLabeled:
+		return "PartlyLabeled"
+	default:
+		return "FullyLabeled"
+	}
+}
+
+// conceptDTO renders one concept; transitions are optional because the
+// list view would otherwise be quadratic in lattice size.
+func conceptDTO(sess *cable.Session, id int, withTransitions bool) (apiv1.Concept, error) {
+	state, err := sess.ConceptState(id)
+	if err != nil {
+		return apiv1.Concept{}, err
+	}
+	objs, err := sess.Select(id, cable.SelectAll())
+	if err != nil {
+		return apiv1.Concept{}, err
+	}
+	total := 0
+	for _, o := range objs {
+		n, err := sess.Multiplicity(o)
+		if err != nil {
+			return apiv1.Concept{}, err
+		}
+		total += n
+	}
+	l := sess.Lattice()
+	c := l.Concept(id)
+	dto := apiv1.Concept{
+		ID:          id,
+		State:       stateSlug(state),
+		NumClasses:  c.Extent.Len(),
+		TotalTraces: total,
+		Similarity:  c.Intent.Len(),
+		Parents:     append([]int{}, l.Parents(id)...),
+		Children:    append([]int{}, l.Children(id)...),
+	}
+	if withTransitions {
+		trans, err := sess.ShowTransitions(id, cable.SelectAll())
+		if err != nil {
+			return apiv1.Concept{}, err
+		}
+		dto.Transitions = make([]string, len(trans))
+		for i, t := range trans {
+			dto.Transitions[i] = t.String()
+		}
+	}
+	return dto, nil
+}
+
+func (s *Server) handleListConcepts(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		list := apiv1.ConceptList{Concepts: []apiv1.Concept{}}
+		for _, id := range sess.Lattice().TopDownOrder() {
+			dto, err := conceptDTO(sess, id, false)
+			if err != nil {
+				return err
+			}
+			list.Concepts = append(list.Concepts, dto)
+		}
+		writeJSON(w, http.StatusOK, list)
+		return nil
+	})
+}
+
+func (s *Server) handleGetConcept(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	cid, err := strconv.Atoi(r.PathValue("cid"))
+	if err != nil {
+		return badRequest(fmt.Errorf("concept id: %w", err))
+	}
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		dto, err := conceptDTO(sess, cid, true)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, dto)
+		return nil
+	})
+}
+
+func (s *Server) handleListTraces(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		list := apiv1.TraceList{Traces: []apiv1.TraceClass{}}
+		labels := sess.Labels()
+		for i, t := range sess.Representatives() {
+			count, err := sess.Multiplicity(i)
+			if err != nil {
+				return err
+			}
+			tc := apiv1.TraceClass{Index: i, Key: t.Key(), Count: count}
+			if labels[i] != cable.Unlabeled {
+				tc.Label = string(labels[i])
+			}
+			list.Traces = append(list.Traces, tc)
+		}
+		writeJSON(w, http.StatusOK, list)
+		return nil
+	})
+}
+
+func (s *Server) handleLabel(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.LabelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Label == "" {
+		return badRequest(errors.New("label must be non-empty"))
+	}
+	if (req.Trace == nil) == (req.Concept == nil) {
+		return badRequest(errors.New(`set exactly one of "trace" or "concept"`))
+	}
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		if req.Trace != nil {
+			if err := sess.LabelTrace(*req.Trace, cable.Label(req.Label)); err != nil {
+				return err
+			}
+			writeJSON(w, http.StatusOK, apiv1.LabelResponse{Labeled: 1})
+			return nil
+		}
+		sel, err := parseSelector(req.Selector)
+		if err != nil {
+			return err
+		}
+		n, err := sess.LabelTraces(*req.Concept, sel, cable.Label(req.Label))
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, apiv1.LabelResponse{Labeled: n})
+		return nil
+	})
+}
+
+func (s *Server) handleSuggest(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.SuggestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		sug, err := sess.SuggestFocus(req.Concept)
+		if err != nil {
+			if errors.Is(err, cable.ErrBadConcept) {
+				return err
+			}
+			return conflict(err)
+		}
+		var b strings.Builder
+		if err := fa.Write(&b, sug.Ref); err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, apiv1.SuggestResponse{Template: sug.Template, RefFA: b.String()})
+		return nil
+	})
+}
+
+func (s *Server) handleFocus(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.FocusRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	ref, err := fa.Read(strings.NewReader(req.RefFA))
+	if err != nil {
+		return badRequest(fmt.Errorf("ref_fa: %w", err))
+	}
+	sel, err := parseSelector(req.Selector)
+	if err != nil {
+		return err
+	}
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		if sess != e.session {
+			return badRequest(errors.New("nested focus is not supported over the API; end the current focus first"))
+		}
+		f, err := sess.Focus(req.Concept, sel, ref, cable.WithContext(ctx))
+		if err != nil {
+			if errors.Is(err, cable.ErrBadConcept) || ctx.Err() != nil {
+				return err
+			}
+			return badRequest(err)
+		}
+		fid, err := s.store.addFocus(e, f)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusCreated, apiv1.FocusResponse{
+			SessionID:   fid,
+			NumTraces:   f.Session().NumTraces(),
+			NumConcepts: f.Session().Lattice().Len(),
+		})
+		return nil
+	})
+}
+
+func (s *Server) handleEndFocus(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	res, ok := s.store.resolve(id)
+	if !ok || res.focusID == "" {
+		return notFound(fmt.Errorf("no focus session %q", id))
+	}
+	res.entry.mu.Lock()
+	defer res.entry.mu.Unlock()
+	f, ok := res.entry.focuses[res.focusID]
+	if !ok {
+		return notFound(fmt.Errorf("focus session %q has already ended", id))
+	}
+	merged, err := f.End()
+	if err != nil {
+		return err
+	}
+	s.store.dropFocus(res.entry, res.focusID)
+	writeJSON(w, http.StatusOK, apiv1.EndFocusResponse{Merged: merged})
+	return nil
+}
+
+func (s *Server) handleExportLabels(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+		export := apiv1.LabelsExport{Labels: []apiv1.LabelLine{}}
+		reps := sess.Representatives()
+		for i, l := range sess.Labels() {
+			if l != cable.Unlabeled {
+				export.Labels = append(export.Labels, apiv1.LabelLine{Label: string(l), Key: reps[i].Key()})
+			}
+		}
+		writeJSON(w, http.StatusOK, export)
+		return nil
+	})
+}
+
+func (s *Server) handleMetrics(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if s.metrics == nil {
+		writeJSON(w, http.StatusOK, struct{}{})
+		return nil
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return s.metrics.WriteText(w)
+}

@@ -1,0 +1,515 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fa"
+	"repro/internal/obs"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// violationFixture serializes the Section 2.1 violation traces and a
+// one-state reference FA into the text formats the API accepts.
+func violationFixture(t *testing.T) apiv1.CreateSessionRequest {
+	t.Helper()
+	set := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fwrite(X)", "pclose(X)"),
+		trace.ParseEvents("v3", "X = popen()", "fread(X)"),
+		trace.ParseEvents("v4", "X = fopen()", "fread(X)"),
+		trace.ParseEvents("v5", "X = fopen()", "pclose(X)"),
+		trace.ParseEvents("v6", "X = popen()", "pclose(X)"),
+	)
+	return fixtureFrom(t, set)
+}
+
+func fixtureFrom(t *testing.T, set *trace.Set) apiv1.CreateSessionRequest {
+	t.Helper()
+	var traces, ref strings.Builder
+	if err := trace.Write(&traces, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Write(&ref, fa.FromTraces(set.Alphabet())); err != nil {
+		t.Fatal(err)
+	}
+	return apiv1.CreateSessionRequest{Traces: traces.String(), RefFA: ref.String()}
+}
+
+// client wraps an httptest server with JSON helpers.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &client{t: t, base: ts.URL, http: ts.Client()}
+}
+
+// do issues a request and decodes the response into out (unless nil),
+// returning the status code.
+func (c *client) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("%s %s: decoding %q: %v", method, path, data, err)
+		}
+	}
+	if out != nil && resp.StatusCode >= 300 {
+		if e, ok := out.(*apiv1.Error); ok {
+			_ = json.Unmarshal(data, e)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *client) mustCreate(req apiv1.CreateSessionRequest) apiv1.CreateSessionResponse {
+	c.t.Helper()
+	var resp apiv1.CreateSessionResponse
+	if code := c.do("POST", "/v1/sessions", req, &resp); code != http.StatusCreated {
+		c.t.Fatalf("create session: status %d", code)
+	}
+	return resp
+}
+
+func TestHappyPath(t *testing.T) {
+	// The full Section 2.1 walkthrough over the wire: create, explore the
+	// lattice, label, focus, merge back, export.
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+	if created.NumTraces != 6 {
+		t.Fatalf("NumTraces = %d, want 6 (v0/v6 collapse)", created.NumTraces)
+	}
+	if created.CacheHit {
+		t.Error("first build reported a cache hit")
+	}
+
+	var concepts apiv1.ConceptList
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID+"/concepts", nil, &concepts); code != 200 {
+		t.Fatalf("list concepts: %d", code)
+	}
+	if len(concepts.Concepts) != created.NumConcepts {
+		t.Fatalf("concept list has %d entries, lattice has %d", len(concepts.Concepts), created.NumConcepts)
+	}
+	if concepts.Concepts[0].ID != created.Top {
+		t.Errorf("top-down order starts at c%d, top is c%d", concepts.Concepts[0].ID, created.Top)
+	}
+
+	// Single-concept view includes transitions.
+	var top apiv1.Concept
+	if code := c.do("GET", fmt.Sprintf("/v1/sessions/%s/concepts/%d", created.SessionID, created.Top), nil, &top); code != 200 {
+		t.Fatalf("get concept: %d", code)
+	}
+	if top.State != "Unlabeled" {
+		t.Errorf("fresh top state = %q", top.State)
+	}
+
+	// Label everything good via the top concept.
+	var labeled apiv1.LabelResponse
+	topID := created.Top
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{
+		Concept: &topID, Selector: &apiv1.Selector{Mode: "unlabeled"}, Label: "good",
+	}, &labeled); code != 200 {
+		t.Fatalf("label: %d", code)
+	}
+	if labeled.Labeled != 6 {
+		t.Fatalf("labeled %d classes, want 6", labeled.Labeled)
+	}
+
+	// Relabel one trace bad, then focus the whole session and flip it back
+	// through the sub-session.
+	zero := 0
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{
+		Trace: &zero, Label: "bad",
+	}, &labeled); code != 200 {
+		t.Fatalf("label trace: %d", code)
+	}
+	fx := violationFixture(t)
+	var focus apiv1.FocusResponse
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/focus", apiv1.FocusRequest{
+		Concept: created.Top, RefFA: fx.RefFA,
+	}, &focus); code != http.StatusCreated {
+		t.Fatalf("focus: %d", code)
+	}
+	var fInfo apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+focus.SessionID, nil, &fInfo); code != 200 || !fInfo.Focus {
+		t.Fatalf("focus session info: code %d, focus %v", code, fInfo.Focus)
+	}
+	fTop := findTop(t, c, focus.SessionID)
+	if code := c.do("POST", "/v1/sessions/"+focus.SessionID+"/label", apiv1.LabelRequest{
+		Concept: &fTop, Selector: &apiv1.Selector{Mode: "all"}, Label: "good",
+	}, &labeled); code != 200 {
+		t.Fatalf("label in focus: %d", code)
+	}
+	var ended apiv1.EndFocusResponse
+	if code := c.do("POST", "/v1/sessions/"+focus.SessionID+"/end", nil, &ended); code != 200 {
+		t.Fatalf("end focus: %d", code)
+	}
+	if ended.Merged != 1 {
+		t.Fatalf("merged %d labels, want 1 (only v0 disagreed)", ended.Merged)
+	}
+	// The ended focus ID is gone.
+	if code := c.do("GET", "/v1/sessions/"+focus.SessionID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("ended focus still resolves: %d", code)
+	}
+
+	var export apiv1.LabelsExport
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID+"/labels", nil, &export); code != 200 {
+		t.Fatalf("export: %d", code)
+	}
+	if len(export.Labels) != 6 {
+		t.Fatalf("exported %d labels, want 6", len(export.Labels))
+	}
+	for _, l := range export.Labels {
+		if l.Label != "good" {
+			t.Errorf("label %q on %q, want good everywhere after merge", l.Label, l.Key)
+		}
+	}
+
+	var info apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID, nil, &info); code != 200 {
+		t.Fatalf("get session: %d", code)
+	}
+	if !info.Done || info.Labeled != 6 {
+		t.Errorf("session info = %+v, want done with 6 labeled", info)
+	}
+
+	if code := c.do("DELETE", "/v1/sessions/"+created.SessionID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("deleted session still resolves: %d", code)
+	}
+}
+
+func findTop(t *testing.T, c *client, sid string) int {
+	t.Helper()
+	var concepts apiv1.ConceptList
+	if code := c.do("GET", "/v1/sessions/"+sid+"/concepts", nil, &concepts); code != 200 {
+		t.Fatalf("list concepts: %d", code)
+	}
+	return concepts.Concepts[0].ID
+}
+
+func TestConcurrentLabeling(t *testing.T) {
+	// Many goroutines hammer one session (plus a second session alongside)
+	// with labels; run under -race this is the data-race acceptance check,
+	// and the final export must account for every class exactly once.
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+	other := c.mustCreate(fixtureFrom(t, trace.NewSet(
+		trace.ParseEvents("w0", "a()", "b()"),
+		trace.ParseEvents("w1", "a()"),
+	)))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := "good"
+			if g%2 == 1 {
+				label = "bad"
+			}
+			for i := 0; i < created.NumTraces; i++ {
+				idx := (i + g) % created.NumTraces
+				var resp apiv1.LabelResponse
+				code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{
+					Trace: &idx, Label: label,
+				}, &resp)
+				if code != 200 {
+					t.Errorf("goroutine %d: label trace %d: status %d", g, idx, code)
+				}
+			}
+			oTop := findTop(t, c, other.SessionID)
+			var resp apiv1.LabelResponse
+			if code := c.do("POST", "/v1/sessions/"+other.SessionID+"/label", apiv1.LabelRequest{
+				Concept: &oTop, Selector: &apiv1.Selector{Mode: "all"}, Label: label,
+			}, &resp); code != 200 {
+				t.Errorf("goroutine %d: label other session: status %d", g, code)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var export apiv1.LabelsExport
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID+"/labels", nil, &export); code != 200 {
+		t.Fatalf("export: %d", code)
+	}
+	if len(export.Labels) != created.NumTraces {
+		t.Fatalf("exported %d labels, want %d: every class labeled exactly once", len(export.Labels), created.NumTraces)
+	}
+	for _, l := range export.Labels {
+		if l.Label != "good" && l.Label != "bad" {
+			t.Errorf("class %q has corrupted label %q", l.Key, l.Label)
+		}
+	}
+}
+
+func TestLatticeCacheHit(t *testing.T) {
+	m := obs.New()
+	srv, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
+	fx := violationFixture(t)
+	first := c.mustCreate(fx)
+	second := c.mustCreate(fx)
+	if first.CacheHit {
+		t.Error("first create hit the cache")
+	}
+	if !second.CacheHit {
+		t.Error("identical re-upload missed the cache")
+	}
+	if first.NumConcepts != second.NumConcepts || first.Top != second.Top {
+		t.Errorf("cached lattice differs: %+v vs %+v", first, second)
+	}
+	if srv.cache.Len() != 1 {
+		t.Errorf("cache holds %d lattices, want 1", srv.cache.Len())
+	}
+	if hits := m.Counter("server.cache.hits").Value(); hits != 1 {
+		t.Errorf("server.cache.hits = %d, want 1", hits)
+	}
+	// The two sessions share a lattice but label independently.
+	top := first.Top
+	var resp apiv1.LabelResponse
+	if code := c.do("POST", "/v1/sessions/"+first.SessionID+"/label", apiv1.LabelRequest{
+		Concept: &top, Selector: &apiv1.Selector{Mode: "all"}, Label: "bad",
+	}, &resp); code != 200 {
+		t.Fatalf("label first: %d", code)
+	}
+	var info apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+second.SessionID, nil, &info); code != 200 {
+		t.Fatalf("info second: %d", code)
+	}
+	if info.Labeled != 0 {
+		t.Errorf("labeling session 1 leaked %d labels into session 2", info.Labeled)
+	}
+
+	// A different reference FA over the same traces is a different key.
+	var refB strings.Builder
+	b := fa.NewBuilder("other")
+	st := b.State()
+	b.Start(st)
+	b.Accept(st)
+	b.WildcardEdge(st, st)
+	if err := fa.Write(&refB, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	third := c.mustCreate(apiv1.CreateSessionRequest{Traces: fx.Traces, RefFA: refB.String()})
+	if third.CacheHit {
+		t.Error("different reference FA hit the cache")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	m := obs.New()
+	srv, c := newTestServer(t, Config{CacheSize: 1, Metrics: m})
+	fxA := violationFixture(t)
+	fxB := fixtureFrom(t, trace.NewSet(
+		trace.ParseEvents("w0", "a()", "b()"),
+		trace.ParseEvents("w1", "b()"),
+	))
+	c.mustCreate(fxA)
+	c.mustCreate(fxB) // evicts A
+	if srv.cache.Len() != 1 {
+		t.Fatalf("cache size %d, want 1", srv.cache.Len())
+	}
+	if ev := m.Counter("server.cache.evictions").Value(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if again := c.mustCreate(fxA); again.CacheHit {
+		t.Error("evicted lattice reported a cache hit")
+	}
+}
+
+// combinatorialSet builds all 3-element subsets of n distinct events as
+// traces: with n=16 that is 560 classes and a ~700-concept lattice, a
+// build measured in tens of milliseconds — long enough to cancel
+// mid-flight, small enough to keep the test quick when it runs to
+// completion on a slow day.
+func combinatorialSet(n int) *trace.Set {
+	var traces []trace.Trace
+	id := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				traces = append(traces, trace.ParseEvents(
+					fmt.Sprintf("t%d", id),
+					fmt.Sprintf("e%d()", i), fmt.Sprintf("e%d()", j), fmt.Sprintf("e%d()", k)))
+				id++
+			}
+		}
+	}
+	return trace.NewSet(traces...)
+}
+
+func TestMidBuildCancellation(t *testing.T) {
+	// A request deadline far shorter than the lattice build must abort the
+	// build between work items and surface the timeout envelope, leaving no
+	// half-registered session behind.
+	fx := fixtureFrom(t, combinatorialSet(16))
+
+	srv, c := newTestServer(t, Config{RequestTimeout: time.Millisecond, CacheSize: 4})
+	var apiErr apiv1.Error
+	code := c.do("POST", "/v1/sessions", fx, &apiErr)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (build too fast? grow the fixture)", code)
+	}
+	if apiErr.Code != "timeout" {
+		t.Errorf("error code = %q, want timeout", apiErr.Code)
+	}
+	if n := len(srv.store.list()); n != 0 {
+		t.Errorf("%d sessions registered after cancelled build", n)
+	}
+	if srv.cache.Len() != 0 {
+		t.Errorf("cancelled build populated the cache")
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	var apiErr apiv1.Error
+	check := func(name string, got, want int, wantCode string) {
+		t.Helper()
+		if got != want || apiErr.Code != wantCode {
+			t.Errorf("%s: status %d code %q, want %d %q", name, got, apiErr.Code, want, wantCode)
+		}
+		apiErr = apiv1.Error{}
+	}
+
+	check("unknown session",
+		c.do("GET", "/v1/sessions/deadbeef", nil, &apiErr), 404, "not_found")
+	check("bad concept id",
+		c.do("GET", "/v1/sessions/"+sid+"/concepts/9999", nil, &apiErr), 404, "not_found")
+	bad := 9999
+	check("label bad trace",
+		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &bad, Label: "good"}, &apiErr), 404, "not_found")
+	check("label without target",
+		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Label: "good"}, &apiErr), 400, "bad_request")
+	check("malformed traces",
+		c.do("POST", "/v1/sessions", apiv1.CreateSessionRequest{Traces: "trace x\nnot an event\nend\n", RefFA: "gibberish"}, &apiErr), 400, "bad_request")
+	check("bad selector",
+		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{
+			Concept: &created.Top, Selector: &apiv1.Selector{Mode: "sideways"}, Label: "good"}, &apiErr), 400, "bad_request")
+	check("end non-focus",
+		c.do("POST", "/v1/sessions/"+sid+"/end", nil, &apiErr), 404, "not_found")
+	check("suggest unmixed concept",
+		c.do("POST", "/v1/sessions/"+sid+"/suggest", apiv1.SuggestRequest{Concept: created.Top}, &apiErr), 409, "conflict")
+}
+
+func TestSuggestRoundTrip(t *testing.T) {
+	// Label a mixed concept good/bad, ask for a template, and feed the
+	// suggested FA straight back into a focus request.
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(fixtureFrom(t, trace.NewSet(
+		trace.ParseEvents("t0", "open()", "read()", "close()"),
+		trace.ParseEvents("t1", "open()", "close()", "read()"),
+	)))
+	zero, one := 0, 1
+	var lr apiv1.LabelResponse
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{Trace: &zero, Label: "good"}, &lr); code != 200 {
+		t.Fatalf("label: %d", code)
+	}
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{Trace: &one, Label: "bad"}, &lr); code != 200 {
+		t.Fatalf("label: %d", code)
+	}
+	var sug apiv1.SuggestResponse
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/suggest", apiv1.SuggestRequest{Concept: created.Top}, &sug); code != 200 {
+		t.Fatalf("suggest: %d", code)
+	}
+	if sug.Template == "" || sug.RefFA == "" {
+		t.Fatalf("empty suggestion: %+v", sug)
+	}
+	var focus apiv1.FocusResponse
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/focus", apiv1.FocusRequest{
+		Concept: created.Top, RefFA: sug.RefFA,
+	}, &focus); code != http.StatusCreated {
+		t.Fatalf("focus on suggested FA: %d", code)
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	srv, c := newTestServer(t, Config{CacheSize: 4, IdleTimeout: time.Minute})
+	created := c.mustCreate(violationFixture(t))
+	kept := c.mustCreate(fixtureFrom(t, trace.NewSet(trace.ParseEvents("w0", "a()"))))
+
+	// Rewind the first session's clock past the idle horizon; the second
+	// stays fresh via a touch under the advanced clock.
+	base := time.Now()
+	srv.store.now = func() time.Time { return base.Add(2 * time.Minute) }
+	if code := c.do("GET", "/v1/sessions/"+kept.SessionID, nil, nil); code != 200 {
+		t.Fatalf("touch: %d", code)
+	}
+	if n := srv.EvictIdleNow(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("idle session survived eviction: %d", code)
+	}
+	if code := c.do("GET", "/v1/sessions/"+kept.SessionID, nil, nil); code != 200 {
+		t.Errorf("fresh session was evicted: %d", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	m := obs.New()
+	_, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
+	c.mustCreate(violationFixture(t))
+	c.mustCreate(violationFixture(t)) // cache hit
+
+	resp, err := c.http.Get(c.base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"server.req.create_session", "server.latency.create_session",
+		"server.cache.hits", "server.sessions.live",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cable"
+	"repro/internal/obs"
+)
+
+// entry is one hosted debugging session plus its open Focus sub-sessions.
+// All mutation of the session — labeling, focusing, ending a focus — runs
+// under the entry's mutex, so concurrent requests against one session
+// serialize while requests against different sessions proceed in
+// parallel. Focus sub-sessions live inside their parent's entry rather
+// than as peers in the store: ending a focus touches both the sub-session
+// and the parent's labels, and keeping them under a single lock removes
+// any lock-ordering concern.
+type entry struct {
+	mu      sync.Mutex
+	id      string
+	session *cable.Session
+	// focuses maps focus-session IDs to their live Focus handles.
+	focuses map[string]*cable.Focus
+
+	// lastUsed is guarded by the store's mutex (not the entry's): the
+	// janitor must read it without taking every session lock, and touch
+	// happens on the store-locked resolve path anyway.
+	lastUsed time.Time
+}
+
+// store owns the session table. Its RWMutex guards only the table and the
+// lastUsed stamps; per-session work holds the entry mutex instead.
+type store struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	// focusParent maps a focus-session ID to its parent entry, so focus
+	// IDs resolve through the same lookup as top-level sessions.
+	focusParent map[string]*entry
+	metrics     *obs.Metrics
+	now         func() time.Time // injectable for eviction tests
+}
+
+func newStore(m *obs.Metrics) *store {
+	return &store{
+		entries:     make(map[string]*entry),
+		focusParent: make(map[string]*entry),
+		metrics:     m,
+		now:         time.Now,
+	}
+}
+
+// newID returns an opaque 128-bit hex session ID.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// add registers a session and returns its new ID.
+func (st *store) add(s *cable.Session) (string, error) {
+	id, err := newID()
+	if err != nil {
+		return "", err
+	}
+	e := &entry{id: id, session: s, focuses: make(map[string]*cable.Focus)}
+	st.mu.Lock()
+	e.lastUsed = st.now()
+	st.entries[id] = e
+	st.metrics.Gauge("server.sessions.live").Set(int64(len(st.entries)))
+	st.mu.Unlock()
+	st.metrics.Counter("server.sessions.created").Inc()
+	return id, nil
+}
+
+// addFocus registers a focus sub-session under its parent entry and
+// returns the focus-session ID. Callers must hold e.mu.
+func (st *store) addFocus(e *entry, f *cable.Focus) (string, error) {
+	id, err := newID()
+	if err != nil {
+		return "", err
+	}
+	e.focuses[id] = f
+	st.mu.Lock()
+	st.focusParent[id] = e
+	st.mu.Unlock()
+	st.metrics.Counter("server.focuses.created").Inc()
+	return id, nil
+}
+
+// resolved is the result of looking up a session ID: the entry to lock,
+// the session to operate on (the sub-session for focus IDs), and the
+// Focus handle when the ID names one.
+type resolved struct {
+	entry   *entry
+	session *cable.Session
+	focus   *cable.Focus
+	focusID string
+}
+
+// resolve maps a session or focus-session ID to its entry, bumping the
+// idle clock. The caller locks res.entry.mu before using res.session.
+func (st *store) resolve(id string) (resolved, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.entries[id]; ok {
+		e.lastUsed = st.now()
+		return resolved{entry: e, session: e.session}, true
+	}
+	if e, ok := st.focusParent[id]; ok {
+		e.lastUsed = st.now()
+		// The focus handle itself is read under the entry lock by the
+		// caller; only record the indirection here.
+		return resolved{entry: e, focusID: id}, true
+	}
+	return resolved{}, false
+}
+
+// remove deletes a session and all its focus sub-sessions. It returns
+// false if the ID is unknown or names a focus (focuses end, they are not
+// deleted).
+func (st *store) remove(id string) bool {
+	st.mu.Lock()
+	e, ok := st.entries[id]
+	if ok {
+		delete(st.entries, id)
+		st.metrics.Gauge("server.sessions.live").Set(int64(len(st.entries)))
+	}
+	st.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.focuses))
+	for fid := range e.focuses {
+		ids = append(ids, fid)
+	}
+	e.focuses = make(map[string]*cable.Focus)
+	e.mu.Unlock()
+	st.mu.Lock()
+	for _, fid := range ids {
+		delete(st.focusParent, fid)
+	}
+	st.mu.Unlock()
+	st.metrics.Counter("server.sessions.deleted").Inc()
+	return true
+}
+
+// dropFocus unregisters an ended focus ID. Callers must hold e.mu.
+func (st *store) dropFocus(e *entry, fid string) {
+	delete(e.focuses, fid)
+	st.mu.Lock()
+	delete(st.focusParent, fid)
+	st.mu.Unlock()
+}
+
+// list snapshots the live top-level session IDs with their entries.
+func (st *store) list() []*entry {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// evictIdle removes sessions untouched for longer than maxIdle and
+// returns how many were evicted.
+func (st *store) evictIdle(maxIdle time.Duration) int {
+	if maxIdle <= 0 {
+		return 0
+	}
+	cutoff := st.now().Add(-maxIdle)
+	st.mu.RLock()
+	var stale []string
+	for id, e := range st.entries {
+		if e.lastUsed.Before(cutoff) {
+			stale = append(stale, id)
+		}
+	}
+	st.mu.RUnlock()
+	n := 0
+	for _, id := range stale {
+		// Re-check under remove's lock via lastUsed: a request that
+		// touched the session between the scan and now wins.
+		st.mu.RLock()
+		e, ok := st.entries[id]
+		fresh := ok && !e.lastUsed.Before(cutoff)
+		st.mu.RUnlock()
+		if !ok || fresh {
+			continue
+		}
+		if st.remove(id) {
+			n++
+		}
+	}
+	if n > 0 {
+		st.metrics.Counter("server.sessions.evicted").Add(int64(n))
+	}
+	return n
+}

@@ -60,7 +60,11 @@ func (p Plan) Apply(s *cable.Session) error {
 		if op.Label == cable.Unlabeled {
 			continue // pure inspection
 		}
-		if n := s.LabelTraces(op.Concept, cable.SelectUnlabeled(), op.Label); n == 0 {
+		n, err := s.LabelTraces(op.Concept, cable.SelectUnlabeled(), op.Label)
+		if err != nil {
+			return fmt.Errorf("strategy: plan op %d: %w", i, err)
+		}
+		if n == 0 {
 			return fmt.Errorf("strategy: plan op %d labels concept %d with no unlabeled traces", i, op.Concept)
 		}
 	}

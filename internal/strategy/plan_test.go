@@ -70,8 +70,8 @@ func TestPlanApplyReproducesLabeling(t *testing.T) {
 		t.Fatal("session not fully labeled after replay")
 	}
 	for i := 0; i < s.NumTraces(); i++ {
-		if s.LabelOf(i) != ref[i] {
-			t.Errorf("trace %d labeled %q, want %q", i, s.LabelOf(i), ref[i])
+		if must(s.LabelOf(i)) != ref[i] {
+			t.Errorf("trace %d labeled %q, want %q", i, must(s.LabelOf(i)), ref[i])
 		}
 	}
 }
@@ -86,8 +86,8 @@ func TestExpertPlanApplyReproducesLabeling(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < s.NumTraces(); i++ {
-		if s.LabelOf(i) != ref[i] {
-			t.Errorf("trace %d labeled %q, want %q", i, s.LabelOf(i), ref[i])
+		if must(s.LabelOf(i)) != ref[i] {
+			t.Errorf("trace %d labeled %q, want %q", i, must(s.LabelOf(i)), ref[i])
 		}
 	}
 }
@@ -125,8 +125,8 @@ func TestRandomPlanApplyMatchesReference(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < s.NumTraces(); i++ {
-			if s.LabelOf(i) != ref[i] {
-				t.Fatalf("trial %d: trace %d labeled %q, want %q", trial, i, s.LabelOf(i), ref[i])
+			if must(s.LabelOf(i)) != ref[i] {
+				t.Fatalf("trial %d: trace %d labeled %q, want %q", trial, i, must(s.LabelOf(i)), ref[i])
 			}
 		}
 	}
@@ -151,8 +151,8 @@ func TestOptimalPlanAchievesLabeling(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < s.NumTraces(); i++ {
-		if s.LabelOf(i) != ref[i] {
-			t.Errorf("trace %d labeled %q, want %q", i, s.LabelOf(i), ref[i])
+		if must(s.LabelOf(i)) != ref[i] {
+			t.Errorf("trace %d labeled %q, want %q", i, must(s.LabelOf(i)), ref[i])
 		}
 	}
 	// And no shorter plan exists among the other strategies' plans.
@@ -160,4 +160,13 @@ func TestOptimalPlanAchievesLabeling(t *testing.T) {
 	if len(plan.Ops) > len(tdPlan.Ops) {
 		t.Errorf("optimal plan (%d ops) longer than top-down (%d)", len(plan.Ops), len(tdPlan.Ops))
 	}
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

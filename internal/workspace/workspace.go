@@ -55,9 +55,9 @@ func Save(w io.Writer, s *cable.Session) error {
 	}
 	fmt.Fprintln(bw, sectionLabels)
 	var lines []string
-	for i := 0; i < s.NumTraces(); i++ {
-		if l := s.LabelOf(i); l != cable.Unlabeled {
-			lines = append(lines, fmt.Sprintf("%s\t%s", l, s.Trace(i).Key()))
+	for i, l := range s.Labels() {
+		if l != cable.Unlabeled {
+			lines = append(lines, fmt.Sprintf("%s\t%s", l, s.Representatives()[i].Key()))
 		}
 	}
 	sort.Strings(lines)

@@ -41,13 +41,13 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("classes %d -> %d", s.NumTraces(), got.NumTraces())
 	}
 	for i := 0; i < s.NumTraces(); i++ {
-		if got.Trace(i).Key() != s.Trace(i).Key() {
+		if must(got.Trace(i)).Key() != must(s.Trace(i)).Key() {
 			t.Errorf("trace %d changed", i)
 		}
-		if got.LabelOf(i) != s.LabelOf(i) {
-			t.Errorf("label %d: %q -> %q", i, s.LabelOf(i), got.LabelOf(i))
+		if must(got.LabelOf(i)) != must(s.LabelOf(i)) {
+			t.Errorf("label %d: %q -> %q", i, must(s.LabelOf(i)), must(got.LabelOf(i)))
 		}
-		if got.Multiplicity(i) != s.Multiplicity(i) {
+		if must(got.Multiplicity(i)) != must(s.Multiplicity(i)) {
 			t.Errorf("multiplicity %d changed", i)
 		}
 	}
@@ -105,4 +105,13 @@ func TestLoadRejectsTracesOutsideRef(t *testing.T) {
 	if _, err := Load(strings.NewReader(in)); err == nil {
 		t.Error("Load accepted workspace with unrecognized traces")
 	}
+}
+
+// must unwraps a (value, error) pair, panicking on error; these tests only
+// use IDs the checked accessors accept.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
