@@ -15,14 +15,19 @@ build:
 test:
 	$(GO) test ./...
 
+# Includes TestSimSharedAcrossGoroutines: one compiled simulation plan
+# hammered from 8 goroutines across every entry point.
 race:
 	$(GO) test -race ./...
 
-# A one-iteration pass over the lattice-engine benchmarks: catches
-# benchmark-code rot without paying for stable measurements.
+# A one-iteration pass over the lattice-engine and compiled-simulator
+# benchmarks: catches benchmark-code rot without paying for stable
+# measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkBitset' \
 	    -benchtime 1x ./internal/concept ./internal/bitset
+	$(GO) test -run '^$$' -bench 'BenchmarkExecuted|BenchmarkExecutedAll|BenchmarkAccepts|BenchmarkTraceContext' \
+	    -benchtime 1x ./internal/fa ./internal/concept
 
 # Run cmd/paper with -metrics and assert the snapshot attributes time to
 # the pipeline phases (a span line for lattice.build must be present).

@@ -97,6 +97,19 @@ func IntersectInto(dst, a, b *Set) *Set {
 	return dst
 }
 
+// CopyFrom makes s an exact copy of t, reusing s's storage when it is large
+// enough, and returns s. It is the allocation-free form of Clone for hot
+// loops that reset a scratch set to a known frontier.
+func (s *Set) CopyFrom(t *Set) *Set {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	} else {
+		s.words = s.words[:len(t.words)]
+	}
+	copy(s.words, t.words)
+	return s
+}
+
 func (s *Set) ensure(word int) {
 	if word < len(s.words) {
 		return

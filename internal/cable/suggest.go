@@ -94,9 +94,11 @@ func separates(ref *fa.FA, traces []trace.Trace, labels []Label) bool {
 		}
 	}
 	// The template must accept every trace (seed-order templates reject
-	// traces lacking the seed).
+	// traces lacking the seed). Compile the candidate once; the same plan
+	// is then reused by the lattice build below.
+	sim := ref.Sim()
 	for _, t := range traces {
-		if !ref.Accepts(t) {
+		if !sim.Accepts(t) {
 			return false
 		}
 	}

@@ -2,11 +2,15 @@ package concept
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/event"
+	"repro/internal/fa"
+	"repro/internal/trace"
 )
 
 // benchContext builds a deterministic random context big enough that the
@@ -30,6 +34,53 @@ func benchContext() *Context {
 		}
 	}
 	return c
+}
+
+// benchRefAndTraces builds a mid-size reference automaton and a trace
+// multiset sampled from its language with heavy class duplication — the
+// shape TraceContext sees in a Cable session (many traces, few classes).
+func benchRefAndTraces() (*fa.FA, []trace.Trace) {
+	rng := rand.New(rand.NewSource(2003))
+	const numStates, numSyms, numEdges = 20, 15, 70
+	alpha := make([]event.Event, numSyms)
+	for i := range alpha {
+		alpha[i] = event.MustParse(fmt.Sprintf("op%d(X)", i))
+	}
+	bld := fa.NewBuilder("bench-ref")
+	states := bld.States(numStates)
+	bld.Start(states[0])
+	for i := 0; i+1 < numStates; i++ {
+		bld.Edge(states[i], alpha[i%numSyms], states[i+1])
+	}
+	bld.Accept(states[numStates-1])
+	bld.Accept(states[numStates/2])
+	for i := numStates - 1; i < numEdges; i++ {
+		bld.Edge(states[rng.Intn(numStates)], alpha[rng.Intn(numSyms)], states[rng.Intn(numStates)])
+	}
+	ref := bld.MustBuild()
+	classes := make([]trace.Trace, 0, 20)
+	for len(classes) < 20 {
+		if t, ok := ref.Sample(rng, 25); ok && len(t.Events) > 0 {
+			classes = append(classes, t)
+		}
+	}
+	traces := make([]trace.Trace, 100)
+	for i := range traces {
+		traces[i] = classes[i%len(classes)]
+	}
+	return ref, traces
+}
+
+// BenchmarkTraceContext measures Step 1's context construction end to end:
+// dedup into classes, compiled simulation per class, shared executed rows.
+func BenchmarkTraceContext(b *testing.B) {
+	ref, traces := benchRefAndTraces()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TraceContext(traces, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkBuild(b *testing.B) {

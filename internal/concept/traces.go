@@ -3,11 +3,7 @@ package concept
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
-	"repro/internal/bitset"
 	"repro/internal/fa"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -29,11 +25,14 @@ func TraceContext(traces []trace.Trace, ref *fa.FA) (*Context, error) {
 // rejected trace yields an error naming it, so callers can pick a coarser
 // reference FA (fa.FromTraces always works).
 //
-// The per-trace accepting-run simulations are independent, so they fan out
-// over a bounded worker pool; the relation is then assembled in input
-// order, making the result identical to a serial run. Cancellation is
-// checked between traces: once ctx is done no new simulation starts and
-// ctx.Err() is returned.
+// The reference FA is compiled once (fa.Sim) and the batch simulation
+// dedups to one representative per identical-event trace class before
+// fanning out over a bounded worker pool: duplicate traces share the class
+// representative's executed-transition set, so the relation — assembled in
+// input order and therefore identical to a serial per-trace run — costs one
+// simulation per class, not per trace. Cancellation is checked between
+// classes: once ctx is done no new simulation starts and ctx.Err() is
+// returned.
 func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, workers int) (*Context, error) {
 	sp := obs.StartSpan("concept.context")
 	defer sp.End()
@@ -51,16 +50,12 @@ func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, work
 		attrNames[i] = tr.String()
 	}
 	fc := NewContext(objNames, attrNames)
-	executed := make([]*bitset.Set, len(traces))
-	rejected := make([]bool, len(traces))
-	if err := forEach(ctx, len(traces), workers, func(o int) {
-		ex, ok := ref.Executed(traces[o])
-		executed[o], rejected[o] = ex, !ok
-	}); err != nil {
+	executed, accepted, err := ref.Sim().ExecutedAllCtx(ctx, traces, workers)
+	if err != nil {
 		return nil, err
 	}
 	for o := range traces {
-		if rejected[o] {
+		if !accepted[o] {
 			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], traces[o].Key())
 		}
 		executed[o].Range(func(a int) bool {
@@ -69,59 +64,6 @@ func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, work
 		})
 	}
 	return fc, nil
-}
-
-// forEach runs f(i) for i in [0, n), fanning out over up to `workers`
-// goroutines (0 means GOMAXPROCS). For n ≤ 1 or a single-worker limit it
-// runs inline. Cancellation is checked before each item; once ctx is done
-// no new item is claimed and ctx.Err() is returned (in-flight items still
-// finish, so f never runs concurrently with the caller's error handling).
-func forEach(ctx context.Context, n, workers int, f func(i int)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	done := ctx.Done()
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			select {
-			case <-done:
-				return ctx.Err()
-			default:
-			}
-			f(i)
-		}
-		return nil
-	}
-	var next int64 = -1
-	var cancelled atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					cancelled.Store(true)
-					return
-				default:
-				}
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if cancelled.Load() {
-		return ctx.Err()
-	}
-	return nil
 }
 
 // BuildFromTraces is the one-call form of Step 1 of the paper's method:

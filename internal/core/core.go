@@ -86,8 +86,9 @@ func DebugProgram(program, spec *fa.FA, maxLen, limit int) (*Session, []verify.V
 // scenarios is used instead.
 func DebugMined(mined *fa.FA, scenarios *trace.Set) (*Session, error) {
 	ref := mined
+	sim := mined.Sim()
 	for _, c := range scenarios.Classes() {
-		if !ref.Accepts(c.Rep) {
+		if !sim.Accepts(c.Rep) {
 			ref = ReferenceFA(scenarios)
 			break
 		}

@@ -52,21 +52,7 @@ func Bind(def, op string, uses ...string) Event {
 // "fclose(X)". The rendering is canonical: Parse(e.String()) == e for every
 // valid event, and two events are equal iff their strings are equal.
 func (e Event) String() string {
-	var b strings.Builder
-	if e.Def != "" {
-		b.WriteString(e.Def)
-		b.WriteString(" = ")
-	}
-	b.WriteString(e.Op)
-	b.WriteByte('(')
-	for i, u := range e.Uses {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(u)
-	}
-	b.WriteByte(')')
-	return b.String()
+	return string(e.AppendString(make([]byte, 0, 24)))
 }
 
 // Equal reports whether two events are identical.

@@ -61,6 +61,7 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 	if err != nil {
 		return row, err
 	}
+	minedSim := mined.Sim()
 	badClasses := 0
 	for i, t := range session.Representatives() {
 		key := t.Key()
@@ -77,7 +78,7 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 		}
 		if !good {
 			badClasses++
-			if mined.Accepts(t) {
+			if minedSim.Accepts(t) {
 				row.MinedAcceptsBad++
 			}
 		}
@@ -87,13 +88,15 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 		return row, err
 	}
 
-	// Training-set fidelity: every good class accepted.
+	// Training-set fidelity: every good class accepted. The relearned FA is
+	// replayed over three trace sweeps below; compile its plan once.
+	relearnedSim := relearned.Sim()
 	goodClasses, goodAccepted := 0, 0
 	labels := session.Labels()
 	for i, t := range session.Representatives() {
 		if labels[i] == cable.Good {
 			goodClasses++
-			if relearned.Accepts(t) {
+			if relearnedSim.Accepts(t) {
 				goodAccepted++
 			}
 		}
@@ -106,7 +109,7 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 	sample := spec.FA.Enumerate(10, 300)
 	accepted := 0
 	for _, t := range sample {
-		if relearned.Accepts(t) {
+		if relearnedSim.Accepts(t) {
 			accepted++
 		}
 	}
@@ -115,7 +118,7 @@ func EndToEnd(spec specs.Spec, cfg Config) (E2ERow, error) {
 	}
 	rejected := 0
 	for i, t := range session.Representatives() {
-		if labels[i] == cable.Bad && !relearned.Accepts(t) {
+		if labels[i] == cable.Bad && !relearnedSim.Accepts(t) {
 			rejected++
 		}
 	}

@@ -69,6 +69,10 @@ type FA struct {
 	byTo [][]int
 	// hasWildcard caches whether any transition is a wildcard.
 	hasWildcard bool
+
+	// simc lazily holds the compiled simulation plan (see Sim). It is a
+	// pointer so shallow copies (WithName) share one plan per automaton.
+	simc *simCache
 }
 
 // Builder accumulates states and transitions for an FA.
@@ -138,6 +142,7 @@ func (b *Builder) Build() (*FA, error) {
 		accept:    bitset.New(b.numStates),
 		trans:     append([]Transition(nil), b.trans...),
 		labelIdx:  map[string]int{},
+		simc:      &simCache{},
 	}
 	check := func(s State, what string) error {
 		if int(s) < 0 || int(s) >= b.numStates {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fa
+
+const raceEnabled = false

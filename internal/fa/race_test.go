@@ -1,0 +1,8 @@
+//go:build race
+
+package fa
+
+// raceEnabled reports that the race detector is active: it randomly
+// defeats sync.Pool caching, so allocation-count tests over the pooled
+// scratch path are skipped under -race.
+const raceEnabled = true

@@ -2,14 +2,58 @@ package fa
 
 import (
 	"repro/internal/bitset"
-	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
+// The public simulation methods are thin wrappers over the automaton's
+// compiled plan (see Sim): the plan is built once per FA and cached, so
+// per-call users and plan-sharing worker pools run the same code path.
+// The original per-call loops survive below as legacy* — the reference
+// implementations that the differential tests and benchmarks pin the
+// compiled simulator against.
+
 // Accepts reports whether some run of the automaton accepts the trace.
 func (f *FA) Accepts(t trace.Trace) bool {
-	sp := obs.StartSpan("fa.accepts")
-	defer sp.End()
+	return f.Sim().Accepts(t)
+}
+
+// RejectsAt returns the index of the first event at which every run of the
+// automaton is dead (no matching transition from any reachable state), or
+// len(t.Events) if the trace runs to completion but ends in no accepting
+// state, or -1 if the trace is accepted. Verifiers use this to report where
+// a violation manifests.
+func (f *FA) RejectsAt(t trace.Trace) int {
+	return f.Sim().RejectsAt(t)
+}
+
+// Executed returns the set of transition indices that lie on at least one
+// accepting run of the automaton on the trace — the relation R of Section
+// 3.2: (o, a) ∈ R iff transition a can be executed while accepting o.
+//
+// If the trace is not accepted, the returned set is empty and ok is false.
+//
+// The computation is the standard forward/backward product: F[i] is the set
+// of states reachable from a start state by consuming t[0:i], B[i] the set of
+// states from which t[i:] can reach acceptance; transition (p --e--> q) is
+// executed iff for some i with label match at t[i], p ∈ F[i] and q ∈ B[i+1].
+func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
+	return f.Sim().Executed(t)
+}
+
+// AcceptsAll reports whether every trace in the slice is accepted.
+func (f *FA) AcceptsAll(traces []trace.Trace) bool {
+	s := f.Sim()
+	for _, t := range traces {
+		if !s.Accepts(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// legacyAccepts is the original per-call simulation loop: a fresh frontier
+// bitset per event and a string render + compare per (state, event) pair.
+func (f *FA) legacyAccepts(t trace.Trace) bool {
 	cur := f.start.Clone()
 	for _, e := range t.Events {
 		next := bitset.New(f.numStates)
@@ -27,12 +71,8 @@ func (f *FA) Accepts(t trace.Trace) bool {
 	return cur.Intersects(f.accept)
 }
 
-// RejectsAt returns the index of the first event at which every run of the
-// automaton is dead (no matching transition from any reachable state), or
-// len(t.Events) if the trace runs to completion but ends in no accepting
-// state, or -1 if the trace is accepted. Verifiers use this to report where
-// a violation manifests.
-func (f *FA) RejectsAt(t trace.Trace) int {
+// legacyRejectsAt is the original RejectsAt loop (see legacyAccepts).
+func (f *FA) legacyRejectsAt(t trace.Trace) int {
 	cur := f.start.Clone()
 	for i, e := range t.Events {
 		next := bitset.New(f.numStates)
@@ -53,19 +93,10 @@ func (f *FA) RejectsAt(t trace.Trace) int {
 	return len(t.Events)
 }
 
-// Executed returns the set of transition indices that lie on at least one
-// accepting run of the automaton on the trace — the relation R of Section
-// 3.2: (o, a) ∈ R iff transition a can be executed while accepting o.
-//
-// If the trace is not accepted, the returned set is empty and ok is false.
-//
-// The computation is the standard forward/backward product: F[i] is the set
-// of states reachable from a start state by consuming t[0:i], B[i] the set of
-// states from which t[i:] can reach acceptance; transition (p --e--> q) is
-// executed iff for some i with label match at t[i], p ∈ F[i] and q ∈ B[i+1].
-func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
-	sp := obs.StartSpan("fa.executed")
-	defer sp.End()
+// legacyExecuted is the original forward/backward product (see Executed for
+// the algorithm), allocating per-position bitsets and comparing labels by
+// rendered string.
+func (f *FA) legacyExecuted(t trace.Trace) (executed *bitset.Set, ok bool) {
 	n := len(t.Events)
 	fwd := make([]*bitset.Set, n+1)
 	fwd[0] = f.start.Clone()
@@ -81,7 +112,6 @@ func (f *FA) Executed(t trace.Trace) (executed *bitset.Set, ok bool) {
 	}
 	executed = bitset.New(len(f.trans))
 	if !fwd[n].Intersects(f.accept) {
-		obs.Count("fa.executed.rejected", 1)
 		return executed, false
 	}
 	bwd := make([]*bitset.Set, n+1)
@@ -162,14 +192,4 @@ func (f *FA) AcceptingRun(t trace.Trace) []int {
 		}
 	}
 	return run
-}
-
-// AcceptsAll reports whether every trace in the slice is accepted.
-func (f *FA) AcceptsAll(traces []trace.Trace) bool {
-	for _, t := range traces {
-		if !f.Accepts(t) {
-			return false
-		}
-	}
-	return true
 }

@@ -16,7 +16,8 @@
 // registry is installed via Enable (typically by a CLI's -metrics flag).
 //
 // Span names follow a "<layer>.<phase>" convention (trace.read,
-// fa.executed, concept.context, lattice.build, lattice.link_covers,
+// fa.compile, fa.accepts, fa.rejectsat, fa.executed, fa.executedall,
+// concept.context, lattice.build, lattice.link_covers,
 // cable.session, exp.prepare, exp.parmap) so a snapshot reads as a
 // phase-attributed profile of the Cable pipeline; see DESIGN.md's
 // Observability section.

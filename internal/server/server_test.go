@@ -357,10 +357,10 @@ func TestCacheEviction(t *testing.T) {
 }
 
 // combinatorialSet builds all 3-element subsets of n distinct events as
-// traces: with n=16 that is 560 classes and a ~700-concept lattice, a
+// traces: with n=26 that is 2600 classes and a ~2950-concept lattice, a
 // build measured in tens of milliseconds — long enough to cancel
-// mid-flight, small enough to keep the test quick when it runs to
-// completion on a slow day.
+// mid-flight even with the compiled FA simulator on the fast path, small
+// enough to keep the test quick when it runs to completion on a slow day.
 func combinatorialSet(n int) *trace.Set {
 	var traces []trace.Trace
 	id := 0
@@ -381,7 +381,7 @@ func TestMidBuildCancellation(t *testing.T) {
 	// A request deadline far shorter than the lattice build must abort the
 	// build between work items and surface the timeout envelope, leaving no
 	// half-registered session behind.
-	fx := fixtureFrom(t, combinatorialSet(16))
+	fx := fixtureFrom(t, combinatorialSet(26))
 
 	srv, c := newTestServer(t, Config{RequestTimeout: time.Millisecond, CacheSize: 4})
 	var apiErr apiv1.Error

@@ -11,8 +11,6 @@
 package trace
 
 import (
-	"strings"
-
 	"repro/internal/event"
 )
 
@@ -47,14 +45,22 @@ func (t Trace) Len() int { return len(t.Events) }
 // Key returns the canonical string identifying the event sequence; traces
 // are identical iff their keys are equal.
 func (t Trace) Key() string {
-	var b strings.Builder
+	return string(t.AppendKey(nil))
+}
+
+// AppendKey appends the bytes of t.Key() to dst and returns the extended
+// slice. Identical traces append equal bytes. Hot paths that dedup or
+// memoize per identical-event class (e.g. fa.Sim) reuse one buffer across
+// calls and look classes up with string(buf), which the compiler optimizes
+// to an allocation-free map access.
+func (t Trace) AppendKey(dst []byte) []byte {
 	for i, e := range t.Events {
 		if i > 0 {
-			b.WriteString("; ")
+			dst = append(dst, "; "...)
 		}
-		b.WriteString(e.String())
+		dst = e.AppendString(dst)
 	}
-	return b.String()
+	return dst
 }
 
 // String renders the trace as its key (IDs are provenance, not content).

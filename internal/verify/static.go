@@ -28,10 +28,11 @@ func Static(program, spec *fa.FA, maxLen, limit int) ([]Violation, error) {
 		return nil, fmt.Errorf("verify: complementing %q: %v", spec.Name(), err)
 	}
 	bad := fa.Intersect(program, notSpec)
+	sim := spec.Sim()
 	var out []Violation
 	for i, t := range bad.Enumerate(maxLen, limit) {
 		t.ID = fmt.Sprintf("static#%d", i)
-		at := spec.RejectsAt(t)
+		at := sim.RejectsAt(t)
 		if at < 0 {
 			return nil, fmt.Errorf("verify: internal error: enumerated trace %q accepted by spec", t.Key())
 		}

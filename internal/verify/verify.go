@@ -37,11 +37,13 @@ func (v Violation) String() string {
 }
 
 // Check simulates each trace against the specification and returns the
-// violations in input order.
+// violations in input order. The specification is compiled once (fa.Sim)
+// and the plan reused across all traces.
 func Check(spec *fa.FA, traces []trace.Trace) []Violation {
+	sim := spec.Sim()
 	var out []Violation
 	for _, t := range traces {
-		if at := spec.RejectsAt(t); at >= 0 {
+		if at := sim.RejectsAt(t); at >= 0 {
 			out = append(out, Violation{Trace: t, At: at})
 		}
 	}
@@ -70,9 +72,10 @@ func CheckRuns(spec *fa.FA, fe mine.FrontEnd, runs []mine.Run) (*trace.Set, []Vi
 // traces it rejects, preserving multiplicities. Debugging sessions use it
 // to separate violations from conforming scenarios.
 func Partition(spec *fa.FA, set *trace.Set) (accepted, rejected *trace.Set) {
+	sim := spec.Sim()
 	accepted, rejected = &trace.Set{}, &trace.Set{}
 	for _, t := range setTraces(set) {
-		if spec.Accepts(t) {
+		if sim.Accepts(t) {
 			accepted.Add(t)
 		} else {
 			rejected.Add(t)

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the lattice-engine benchmark suite and record the results
-# in BENCH_lattice.json (benchmark name → ns/op, allocs/op) so future PRs
-# can track the performance trajectory.
+# bench.sh — run the lattice-engine and FA-simulator benchmark suites and
+# record the results in BENCH_lattice.json and BENCH_fa.json (benchmark
+# name → ns/op, allocs/op) so future PRs can track the performance
+# trajectory.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go test -benchtime value (default 1s; use e.g. 10x for a
@@ -10,20 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="BENCH_lattice.json"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+TMP_FA="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA"' EXIT
 
-# Table-2 lattice construction (the paper's headline cost), the
-# cover-linking and query micro-benchmarks, and the bitset kernels.
-go test -run '^$' -bench 'BenchmarkTable2_Lattice|BenchmarkLatticeOps' \
-    -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkBuild$|BenchmarkLinkCovers|BenchmarkLatticeQueries' \
-    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkBitset' \
-    -benchmem -benchtime "$BENCHTIME" ./internal/bitset | tee -a "$TMP"
-
-awk '
+# to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
+# allocs_per_op}} JSON object.
+to_json() {
+    awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
@@ -39,9 +34,30 @@ awk '
 }
 BEGIN { printf("{\n") }
 END   { printf("\n}\n") }
-' "$TMP" > "$OUT"
+'
+}
 
-echo "wrote $OUT"
+# Table-2 lattice construction (the paper's headline cost), the
+# cover-linking and query micro-benchmarks, and the bitset kernels.
+go test -run '^$' -bench 'BenchmarkTable2_Lattice|BenchmarkLatticeOps' \
+    -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkBuild$|BenchmarkLinkCovers|BenchmarkLatticeQueries' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkBitset' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/bitset | tee -a "$TMP"
+
+to_json < "$TMP" > BENCH_lattice.json
+echo "wrote BENCH_lattice.json"
+
+# The compiled FA simulator (legacy loop vs compiled plan vs memoized
+# classes) and the trace-context construction that rides on it.
+go test -run '^$' -bench 'BenchmarkExecuted$|BenchmarkExecutedAll|BenchmarkAccepts' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/fa | tee -a "$TMP_FA"
+go test -run '^$' -bench 'BenchmarkTraceContext' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP_FA"
+
+to_json < "$TMP_FA" > BENCH_fa.json
+echo "wrote BENCH_fa.json"
 
 # Phase-attributed metrics snapshot next to the raw numbers: where a
 # Table-2 run spends its time (trace parse, FA sim, context build, lattice
