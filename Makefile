@@ -2,12 +2,32 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke
+.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke
 
-ci: vet build race bench-smoke obs-smoke fuzz-smoke cabled-smoke
+ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke
 
 vet:
 	$(GO) vet ./...
+
+# gofmt gate: fail if any tracked source (testdata golden packages are
+# deliberately excluded — `// want` comments pin exact columns) needs
+# reformatting.
+fmt:
+	@out="$$(gofmt -l . | grep -v testdata || true)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The repo's own invariant suite (internal/analysis): build the cablevet
+# multichecker and run it over every package through go vet's unitchecker
+# protocol. Findings fail the build; see DESIGN.md for the rule catalogue
+# and the //cablevet:ignore suppression syntax.
+cablevet:
+	$(GO) build -o bin/cablevet ./cmd/cablevet
+	$(GO) vet -vettool=$$PWD/bin/cablevet ./...
+
+# The specification-level counterpart: every shipped paper spec must lint
+# clean (internal/speclint via the cable lint subcommand).
+speclint:
+	$(GO) run ./cmd/cable lint -corpus
 
 build:
 	$(GO) build ./...
@@ -35,9 +55,12 @@ obs-smoke:
 	$(GO) run ./cmd/paper -table 2 -metrics 2>&1 >/dev/null | tee /dev/stderr \
 	    | grep -q '^span    lattice.build '
 
-# A short fuzz pass over the trace round-trip property.
+# Short fuzz passes over the three text-format round-trip properties
+# (traces, automata, Burmeister contexts).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzFAIO$$' -fuzztime 5s ./internal/fa
+	$(GO) test -run '^$$' -fuzz '^FuzzConceptIO$$' -fuzztime 5s ./internal/concept
 
 # Build the real cabled binary, exercise the API over TCP, and assert a
 # clean SIGTERM shutdown while a lattice build is in flight. The server

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fa"
+	"repro/internal/speclint"
+	"repro/internal/specs"
+	"repro/internal/trace"
+)
+
+// runLint implements the "cable lint" subcommand: a structural check of
+// specification automata (internal/speclint) run before any lattice is
+// built. It exits 1 when any finding is reported, so it slots into CI.
+//
+//	cable lint -fa spec.fa [-traces scenarios.txt]
+//	cable lint -corpus
+func runLint(args []string) {
+	fs := flag.NewFlagSet("cable lint", flag.ExitOnError)
+	var (
+		faPath     = fs.String("fa", "", "specification FA file to lint")
+		tracesPath = fs.String("traces", "", "optional trace file; enables alphabet checking")
+		corpus     = fs.Bool("corpus", false, "lint every shipped paper specification instead of one file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: cable lint -fa spec.fa [-traces scenarios.txt]")
+		fmt.Fprintln(fs.Output(), "       cable lint -corpus")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	var findings []speclint.Finding
+	specCount := 0
+	switch {
+	case *corpus:
+		for _, sp := range append(specs.All(), specs.Stdio()) {
+			specCount++
+			findings = append(findings, speclint.Lint(sp.FA)...)
+		}
+	case *faPath != "":
+		f, err := os.Open(*faPath)
+		die(err)
+		spec, err := fa.Read(f)
+		die(f.Close())
+		die(err)
+		specCount++
+		if *tracesPath != "" {
+			tf, err := os.Open(*tracesPath)
+			die(err)
+			set, err := trace.Read(tf)
+			die(tf.Close())
+			die(err)
+			findings = speclint.LintWithTraces(spec, set.Representatives())
+		} else {
+			findings = speclint.Lint(spec)
+		}
+	default:
+		fs.Usage()
+		stop()
+		os.Exit(2)
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("cable lint: %d finding(s) in %d spec(s)\n", len(findings), specCount)
+		stop()
+		os.Exit(1)
+	}
+	fmt.Printf("cable lint: %d spec(s) clean\n", specCount)
+}

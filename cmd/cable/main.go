@@ -8,6 +8,8 @@
 //
 //	cable -traces scenarios.txt [-fa spec.fa]
 //	cable -workspace session.cws
+//	cable lint -fa spec.fa [-traces scenarios.txt]
+//	cable lint -corpus
 //
 // A workspace file (written by the "workspace" command) bundles traces,
 // reference FA, and labels, so a labeling session can be resumed. Type
@@ -30,6 +32,12 @@ import (
 )
 
 func main() {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic flags-only interactive entry point.
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		runLint(os.Args[2:])
+		return
+	}
 	var (
 		tracesPath = flag.String("traces", "", "trace file")
 		faPath     = flag.String("fa", "", "reference FA file (default: learn one)")

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -15,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fa"
+	"repro/internal/scanio"
 	"repro/internal/server/apiv1"
 	"repro/internal/trace"
 )
@@ -46,7 +46,7 @@ func TestCabledSmoke(t *testing.T) {
 	defer cmd.Process.Kill()
 
 	// The first stderr line announces the bound address.
-	sc := bufio.NewScanner(stderr)
+	sc := scanio.NewScanner(stderr)
 	var addr string
 	if sc.Scan() {
 		line := sc.Text()

@@ -11,6 +11,7 @@
 //	tsverify -pattern "X = fopen() fclose(X)" -traces scenarios.txt
 //	tsverify -fa spec.fa -program model.fa [-maxlen 10] [-limit 100]
 //	tsverify -fa spec.fa -progsrc program.prog
+//	tsverify -fa spec.fa -lint [-traces scenarios.txt]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/rank"
+	"repro/internal/speclint"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -39,13 +41,14 @@ func main() {
 		outPath    = flag.String("violations", "", "write violating traces here")
 		ranked     = flag.Bool("rank", false, "rank violation classes most-suspicious first (statistical surprise)")
 		explain    = flag.Bool("explain", false, "diagnose each violation: offending event and the events the spec expected")
+		lint       = flag.Bool("lint", false, "structurally lint the specification and exit (no verification)")
 		quiet      = flag.Bool("q", false, "print only the summary line")
 		metrics    = flag.Bool("metrics", false, "collect metrics and dump a snapshot to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
-	if (*faPath == "" && *pattern == "") || (*tracesPath == "" && *progPath == "" && *progSrc == "") {
+	if (*faPath == "" && *pattern == "") || (!*lint && *tracesPath == "" && *progPath == "" && *progSrc == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,6 +63,10 @@ func main() {
 	} else {
 		spec, err = readFA(*faPath)
 		die(err)
+	}
+	if *lint {
+		runLint(spec, *tracesPath)
+		return
 	}
 
 	var (
@@ -147,6 +154,33 @@ func main() {
 		stop()
 		os.Exit(1)
 	}
+}
+
+// runLint checks the specification itself (internal/speclint) instead of
+// checking traces against it: a spec that never flags anything, or whose
+// alphabet has drifted from the traces, makes every verification result
+// vacuously misleading. Exits 1 on findings so CI can gate on it.
+func runLint(spec *fa.FA, tracesPath string) {
+	var findings []speclint.Finding
+	if tracesPath != "" {
+		tf, err := os.Open(tracesPath)
+		die(err)
+		set, err := trace.Read(tf)
+		die(tf.Close())
+		die(err)
+		findings = speclint.LintWithTraces(spec, set.Representatives())
+	} else {
+		findings = speclint.Lint(spec)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("tsverify: %d lint finding(s) in %q\n", len(findings), spec.Name())
+		stop()
+		os.Exit(1)
+	}
+	fmt.Printf("tsverify: spec %q lints clean\n", spec.Name())
 }
 
 func readFA(path string) (*fa.FA, error) {

@@ -1,0 +1,52 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/analyzers"
+)
+
+func TestObsSpanGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/obsspan", analyzers.ObsSpan)
+}
+
+func TestPoolEscapeGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/poolescape", analyzers.PoolEscape)
+}
+
+func TestCtxPropagateGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxpropagate", analyzers.CtxPropagate)
+}
+
+func TestErrWrapLineGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/errwrapline", analyzers.ErrWrapLine)
+}
+
+func TestLockHeldGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/lockheld", analyzers.LockHeld)
+}
+
+func TestAllIsStable(t *testing.T) {
+	want := []string{"obsspan", "poolescape", "ctxpropagate", "errwrapline", "lockheld"}
+	all := analyzers.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s is missing Doc or Run", a.Name)
+		}
+		if got, ok := analyzers.ByName(a.Name); !ok || got != a {
+			t.Errorf("ByName(%s) did not round-trip", a.Name)
+		}
+	}
+	if _, ok := analyzers.ByName("nosuch"); ok {
+		t.Error("ByName(nosuch) unexpectedly succeeded")
+	}
+	_ = analysis.Diagnostic{}
+}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// ErrWrapLine enforces the shared scanner policy (internal/scanio).
+// Two rules:
+//
+//  1. Readers construct scanners with scanio.NewScanner, never
+//     bufio.NewScanner directly — the shared constructor carries the
+//     4 MiB line cap and keeps failure behaviour uniform across the
+//     trace, FA, and concept readers.
+//  2. Inside a function that uses a scanio scanner, errors returned to
+//     the caller are wrapped with scanio.LineError so "which line broke"
+//     survives to the user. A bare fmt.Errorf in a return loses the
+//     line number and breaks errors.Is chains that expect LineError.
+//
+// The scanio package itself is exempt from rule 1: it is the one place
+// allowed to touch bufio.
+var ErrWrapLine = &analysis.Analyzer{
+	Name: "errwrapline",
+	Doc: "check that line-oriented readers use scanio.NewScanner and wrap " +
+		"returned errors in scanio.LineError",
+	Run: runErrWrapLine,
+}
+
+func runErrWrapLine(pass *analysis.Pass) error {
+	for _, fb := range functionBodies(pass) {
+		checkScannerUse(pass, fb)
+	}
+	return nil
+}
+
+// callKeyIs reports whether e is a call to the function named by key
+// ("pkgpath.Name" form).
+func callKeyIs(pass *analysis.Pass, e ast.Expr, key string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return funcKey(calleeFunc(pass, call)) == key
+}
+
+func checkScannerUse(pass *analysis.Pass, fb funcBody) {
+	usesScanio := false
+	walkShallow(fb.body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if callKeyIs(pass, e, "bufio.NewScanner") && pass.Pkg.Path() != scanioPkgPath {
+			pass.Reportf(e.Pos(), "use scanio.NewScanner instead of bufio.NewScanner (shared line cap and error policy)")
+			return false
+		}
+		if callKeyIs(pass, e, scanioPkgPath+".NewScanner") {
+			usesScanio = true
+			return false
+		}
+		return true
+	})
+	if !usesScanio {
+		return
+	}
+	// Rule 2: in this reader, a return whose result is a direct
+	// fmt.Errorf(...) call bypasses LineError. fmt.Errorf nested inside
+	// scanio.LineError(...) is fine — it is LineError's cause argument,
+	// not the returned error.
+	walkShallow(fb.body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if callKeyIs(pass, res, "fmt.Errorf") {
+				pass.Reportf(res.Pos(), "reader error is not wrapped in scanio.LineError")
+			}
+		}
+		return true
+	})
+}

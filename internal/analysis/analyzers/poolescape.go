@@ -1,0 +1,305 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// PoolEscape enforces the sync.Pool scratch discipline of the compiled
+// FA simulator (internal/fa): a value taken from a pool — directly via
+// pool.Get() or through a get() accessor on a struct that owns a pool —
+// is function-local. It must not be returned, stored outside the
+// function's locals, captured by a goroutine, or used after it has been
+// handed back with Put. Violations corrupt concurrent simulations in
+// ways -race only catches when two goroutines collide in the same run.
+var PoolEscape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "check that sync.Pool scratch values do not escape the function " +
+		"or get used after Put",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *analysis.Pass) error {
+	for _, fb := range functionBodies(pass) {
+		checkPoolInBody(pass, fb)
+	}
+	return nil
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get, possibly under a
+// type assertion, or a get()/Get() accessor method on a struct type that
+// has a sync.Pool field.
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recvPkg, recvName := namedType(sig.Recv().Type())
+	if fn.Name() == "Get" && recvPkg == "sync" && recvName == "Pool" {
+		return true
+	}
+	if fn.Name() != "get" && fn.Name() != "Get" {
+		return false
+	}
+	return structHasPoolField(sig.Recv().Type())
+}
+
+// isPoolPut mirrors isPoolGet for the hand-back call; arg must be the
+// tracked object for the use-after-put rule to engage.
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || (fn.Name() != "put" && fn.Name() != "Put") {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recvPkg, recvName := namedType(sig.Recv().Type())
+	poolish := (recvPkg == "sync" && recvName == "Pool") || structHasPoolField(sig.Recv().Type())
+	if !poolish {
+		return false
+	}
+	for _, arg := range call.Args {
+		if identObj(pass, arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// structHasPoolField reports whether t (deref'd) is a struct with a
+// sync.Pool field — the pattern of fa.Sim's scratch pool.
+func structHasPoolField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		pkg, name := namedType(st.Field(i).Type())
+		if pkg == "sync" && name == "Pool" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkPoolInBody(pass *analysis.Pass, fb funcBody) {
+	// Pass 1: find pooled variables. `x := pool.Get().(*T)` and direct
+	// aliases `y := x` both join the tracked set. A bare
+	// `return pool.Get().(*T)` accessor is exempt: it is the hand-off
+	// that defines an accessor, and its callers are tracked instead.
+	pooled := map[types.Object]bool{}
+	walkShallow(fb.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if isPoolGet(pass, rhs) {
+				pooled[obj] = true
+			} else if src := identObj(pass, rhs); src != nil && pooled[src] {
+				pooled[obj] = true
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+	for obj := range pooled {
+		w := &poolWalker{pass: pass, obj: obj}
+		w.walk(fb.body.List, false)
+	}
+}
+
+// poolWalker checks one pooled variable through a statement sequence.
+// put state is sequential within a block; branch bodies inherit the
+// state at entry and their effects are discarded afterwards (a Put in
+// one arm of an if does not poison the other).
+type poolWalker struct {
+	pass *analysis.Pass
+	obj  types.Object
+}
+
+func (w *poolWalker) name() string { return w.obj.Name() }
+
+func (w *poolWalker) walk(stmts []ast.Stmt, put bool) bool {
+	for _, s := range stmts {
+		put = w.walkStmt(s, put)
+	}
+	return put
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt, put bool) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && isPoolPut(w.pass, call, w.obj) {
+			return true
+		}
+	case *ast.DeferStmt:
+		// defer s.put(sc) is the canonical hand-back: uses in the rest
+		// of the function body are fine, so no state change.
+		if isPoolPut(w.pass, st.Call, w.obj) {
+			return put
+		}
+		if w.mentions(st.Call) && put {
+			w.reportUseAfterPut(st.Pos())
+		}
+		return put
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if w.aliases(res) {
+				w.pass.Reportf(st.Pos(), "pooled scratch %s escapes via return", w.name())
+			} else {
+				w.checkUse(res, put)
+			}
+		}
+		return put
+	case *ast.AssignStmt:
+		if put {
+			// Re-acquiring from the pool resets the tracked variable;
+			// any other mention after Put is a use-after-put.
+			if len(st.Rhs) == 1 && isPoolGet(w.pass, st.Rhs[0]) &&
+				len(st.Lhs) == 1 && identObj(w.pass, st.Lhs[0]) == w.obj {
+				return false
+			}
+			w.checkUse(st, put)
+			return put
+		}
+		w.checkAssign(st)
+	case *ast.GoStmt:
+		if w.mentions(st.Call) {
+			w.pass.Reportf(st.Pos(), "pooled scratch %s is captured by a goroutine", w.name())
+		}
+		return put
+	case *ast.BlockStmt:
+		return w.walk(st.List, put)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, put)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			put = w.walkStmt(st.Init, put)
+		}
+		w.checkUse(st.Cond, put)
+		w.walk(st.Body.List, put)
+		if st.Else != nil {
+			w.walkStmt(st.Else, put)
+		}
+		return put
+	case *ast.ForStmt:
+		w.walk(st.Body.List, put)
+		return put
+	case *ast.RangeStmt:
+		w.checkUse(st.X, put)
+		w.walk(st.Body.List, put)
+		return put
+	case *ast.SwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				w.walk(cl.Body, put)
+			}
+		}
+		return put
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				w.walk(cl.Body, put)
+			}
+		}
+		return put
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				w.walk(cl.Body, put)
+			}
+		}
+		return put
+	}
+	w.checkUse(s, put)
+	return put
+}
+
+// checkUse flags any reference to the pooled value after Put.
+func (w *poolWalker) checkUse(n ast.Node, put bool) {
+	if put && n != nil && w.mentions(n) {
+		w.reportUseAfterPut(n.Pos())
+	}
+}
+
+func (w *poolWalker) reportUseAfterPut(pos token.Pos) {
+	w.pass.Reportf(pos, "pooled scratch %s is used after Put", w.name())
+}
+
+// checkAssign flags stores of the pooled value into anything that is not
+// a function-local variable or a field of the scratch itself.
+func (w *poolWalker) checkAssign(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !w.mentions(rhs) {
+			continue
+		}
+		lhs := as.Lhs[i]
+		if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			continue // plain local (or blank) variable: alias tracking covers it
+		}
+		if root := rootIdent(lhs); root != nil && w.pass.TypesInfo.Uses[root] == w.obj {
+			continue // sc.field = ... mutates the scratch itself
+		}
+		w.pass.Reportf(as.Pos(), "pooled scratch %s is stored outside the function's locals", w.name())
+	}
+}
+
+func (w *poolWalker) mentions(n ast.Node) bool {
+	return mentionsObj(w.pass, n, w.obj)
+}
+
+// aliases reports whether e's value can alias the pooled scratch: the
+// variable itself, or a projection rooted at it whose type still refers
+// to pooled memory (pointer, slice, map, ...). Value copies like
+// int(sc.buf[0]) do not alias and may be returned freely.
+func (w *poolWalker) aliases(e ast.Expr) bool {
+	if identObj(w.pass, e) == w.obj {
+		return true
+	}
+	root := rootIdent(e)
+	if root == nil || w.pass.TypesInfo.Uses[root] != w.obj {
+		return false
+	}
+	t := w.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+// Golden package for the ctxpropagate analyzer: exported *Ctx functions
+// must consult ctx in their loops, and non-Ctx wrappers must delegate
+// with context.Background() or context.TODO().
+package ctxpropagate
+
+import "context"
+
+// ProcessCtx promises cancellation but its loop never looks at ctx.
+func ProcessCtx(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items { // want `loop in ProcessCtx does not consult ctx`
+		total += it
+	}
+	return total
+}
+
+// SumCtx checks Done on a stride — the canonical pattern.
+func SumCtx(ctx context.Context, items []int) int {
+	total := 0
+	for i, it := range items {
+		if i%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return total
+			default:
+			}
+		}
+		total += it
+	}
+	return total
+}
+
+// DelegateCtx hands ctx to a worker closure; cancellation propagates
+// through the callee, so the loop is fine.
+func DelegateCtx(ctx context.Context, items []int, run func(context.Context, int)) {
+	for _, it := range items {
+		run(ctx, it)
+	}
+}
+
+// ErrCheckCtx consults ctx.Err directly.
+func ErrCheckCtx(ctx context.Context, items []int) error {
+	for range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sum is the convenience wrapper done right.
+func Sum(items []int) int {
+	return SumCtx(context.Background(), items)
+}
+
+// Total smuggles a caller-supplied context through the non-Ctx name.
+func Total(parent context.Context, items []int) int {
+	return TotalCtx(parent, items) // want `wrapper Total must pass context.Background\(\) or context.TODO\(\) to TotalCtx`
+}
+
+// TotalCtx delegates; no loops of its own.
+func TotalCtx(ctx context.Context, items []int) int {
+	return SumCtx(ctx, items)
+}
+
+// unexportedCtx is private API: the contract applies to exports only.
+func unexportedCtx(ctx context.Context, items []int) int {
+	n := 0
+	for _, it := range items {
+		n += it
+	}
+	return n
+}
+
+// TinyCtx documents a deliberately unchecked loop.
+func TinyCtx(ctx context.Context, xs [4]int) int {
+	n := 0
+	for _, x := range xs { //cablevet:ignore ctxpropagate fixed-size loop, never long enough to matter
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Golden package for the errwrapline analyzer: line-oriented readers go
+// through scanio.NewScanner and wrap returned errors in
+// scanio.LineError.
+package errwrapline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/scanio"
+)
+
+// rawScanner bypasses the shared line-cap policy.
+func rawScanner(r io.Reader) []string {
+	sc := bufio.NewScanner(r) // want `use scanio.NewScanner instead of bufio.NewScanner`
+	var out []string
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
+}
+
+// bareErrorf loses the line number on the parse-error path.
+func bareErrorf(r io.Reader) error {
+	sc := scanio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			return fmt.Errorf("blank line not allowed") // want `reader error is not wrapped in scanio.LineError`
+		}
+	}
+	return scanio.LineError("golden", line, sc.Err())
+}
+
+// wrapped is the idiom: fmt.Errorf is fine as LineError's cause.
+func wrapped(r io.Reader) error {
+	sc := scanio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			return scanio.LineError("golden", line, fmt.Errorf("blank line not allowed"))
+		}
+	}
+	return scanio.LineError("golden", line, sc.Err())
+}
+
+// nonReader uses fmt.Errorf freely — without a scanner in the function,
+// the wrap rule does not apply.
+func nonReader(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+// suppressed keeps a deliberate bufio use (e.g. word-level splitting).
+func suppressed(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r) //cablevet:ignore errwrapline word scanner, not line-oriented
+	sc.Split(bufio.ScanWords)
+	return sc
+}

@@ -1,0 +1,88 @@
+// Golden package for the lockheld analyzer: the per-session mutex must
+// not be held across blocking calls.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/concept"
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+type entry struct {
+	mu    sync.Mutex
+	state int
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {}
+
+func withSession(r *http.Request, fn func(e *entry) error) error {
+	e := &entry{}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn(e)
+}
+
+// explicitWindow blocks inside a Lock/Unlock window but not after it.
+func explicitWindow(e *entry) {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while the session lock is held`
+	e.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// deferredUnlock holds the lock to the end of the function.
+func deferredUnlock(e *entry, w http.ResponseWriter) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state++
+	writeJSON(w, http.StatusOK, e.state) // want `blocking call writeJSON while the session lock is held`
+}
+
+// handler runs its whole callback under the session lock, the
+// withSession convention.
+func handler(w http.ResponseWriter, r *http.Request) {
+	withSession(r, func(e *entry) error {
+		writeJSON(w, http.StatusOK, e.state) // want `blocking call writeJSON while the session lock is held`
+		return nil
+	})
+}
+
+// latticeUnderLock rebuilds a lattice while serialized.
+func latticeUnderLock(e *entry, traces []trace.Trace, ref *fa.FA) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := concept.BuildFromTraces(traces, ref) // want `blocking call concept.BuildFromTraces while the session lock is held`
+	return err
+}
+
+// unlockedIsFine computes the slow thing first, then takes the lock.
+func unlockedIsFine(e *entry, traces []trace.Trace, ref *fa.FA) error {
+	lat, err := concept.BuildFromTraces(traces, ref)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state = lat.Len()
+	return nil
+}
+
+// goroutineEscapesLock: work handed to a goroutine runs outside this
+// lock region (it must synchronize on its own).
+func goroutineEscapesLock(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go time.Sleep(time.Millisecond)
+}
+
+// suppressed documents an intentional build under the lock.
+func suppressed(e *entry, traces []trace.Trace, ref *fa.FA) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := concept.BuildFromTraces(traces, ref) //cablevet:ignore lockheld rebuild must be serialized with the session
+	return err
+}

@@ -1,0 +1,87 @@
+// Golden package for the obsspan analyzer. Each flagged line carries a
+// `// want` expectation; clean idioms and suppressed lines must produce
+// no diagnostics.
+package obsspan
+
+import "repro/internal/obs"
+
+// neverEnded starts a span and forgets it entirely.
+func neverEnded() {
+	sp := obs.StartSpan("build") // want `obs span "build" is started but never ended`
+	_ = sp
+}
+
+// earlyReturn ends the span on the happy path only.
+func earlyReturn(fail bool) error {
+	sp := obs.StartSpan("scan")
+	if fail {
+		return nil // want `obs span "scan" is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// deferredEnd is the canonical idiom: one defer covers every path.
+func deferredEnd(fail bool) error {
+	sp := obs.StartSpan("ok")
+	defer sp.End()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// explicitPerReturn is the memoization fast-path style: an End before
+// each return also satisfies the checker.
+func explicitPerReturn(hit bool) int {
+	sp := obs.StartSpan("lookup")
+	if hit {
+		sp.End()
+		return 1
+	}
+	sp.End()
+	return 0
+}
+
+// fallsOff ends the span in only one arm and then falls off the end of
+// a void function.
+func fallsOff(work bool) {
+	sp := obs.StartSpan("fall") // want `obs span "fall" is not ended before the function falls off its end`
+	if work {
+		sp.End()
+	}
+}
+
+// methodSpan exercises the Metrics.StartSpan form and span variables
+// named something other than sp.
+func methodSpan(m *obs.Metrics) {
+	span := m.StartSpan("phase") // want `obs span "phase" is started but never ended`
+	_ = span
+}
+
+// insideLiteral checks that function literals are analyzed in their own
+// scope: the literal leaks its span even though the enclosing function
+// is clean.
+func insideLiteral() func() {
+	outer := obs.StartSpan("outer")
+	defer outer.End()
+	return func() {
+		inner := obs.StartSpan("inner") // want `obs span "inner" is started but never ended`
+		_ = inner
+	}
+}
+
+// loopScoped starts and ends a span per iteration; nothing dangles at
+// the function's end even though the function has no results.
+func loopScoped(n int) {
+	for i := 0; i < n; i++ {
+		sp := obs.StartSpan("iter")
+		sp.End()
+	}
+}
+
+// suppressed documents an intentional exception.
+func suppressed() {
+	sp := obs.StartSpan("handoff") //cablevet:ignore obsspan span is ended by the caller
+	_ = sp
+}

@@ -1,0 +1,94 @@
+// Golden package for the poolescape analyzer: sync.Pool scratch values
+// must stay function-local and must not be touched after Put.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	buf []byte
+}
+
+// simLike mirrors fa.Sim: a struct owning a pool, with get/put
+// accessors.
+type simLike struct {
+	pool sync.Pool
+	sink *scratch
+}
+
+// get is the accessor pattern: a bare hand-off return is exempt, its
+// callers are tracked instead.
+func (s *simLike) get() *scratch {
+	return s.pool.Get().(*scratch)
+}
+
+func (s *simLike) put(sc *scratch) {
+	s.pool.Put(sc)
+}
+
+// clean is the canonical use: acquire, defer the hand-back, work.
+func (s *simLike) clean() int {
+	sc := s.get()
+	defer s.put(sc)
+	sc.buf = append(sc.buf[:0], 1)
+	return int(sc.buf[0])
+}
+
+// escapes returns the scratch to the caller.
+func (s *simLike) escapes() *scratch {
+	sc := s.get()
+	return sc // want `pooled scratch sc escapes via return`
+}
+
+// stored parks the scratch in a field that outlives the call.
+func (s *simLike) stored() {
+	sc := s.get()
+	s.sink = sc // want `pooled scratch sc is stored outside the function's locals`
+	s.put(sc)
+}
+
+// leaked hands the scratch to a goroutine that may outlive the Put.
+func (s *simLike) leaked() {
+	sc := s.get()
+	go func() { // want `pooled scratch sc is captured by a goroutine`
+		sc.buf = nil
+	}()
+	s.put(sc)
+}
+
+// useAfterPut touches the scratch after handing it back.
+func (s *simLike) useAfterPut() {
+	sc := s.get()
+	s.put(sc)
+	sc.buf = nil // want `pooled scratch sc is used after Put`
+}
+
+// aliased tracks direct aliases of the scratch.
+func (s *simLike) aliased() *scratch {
+	sc := s.get()
+	alias := sc
+	return alias // want `pooled scratch alias escapes via return`
+}
+
+// directPool exercises the raw sync.Pool.Get form.
+var rawPool sync.Pool
+
+func directPool() *scratch {
+	sc := rawPool.Get().(*scratch)
+	return sc // want `pooled scratch sc escapes via return`
+}
+
+// reacquired resets tracking when the variable is refilled from the
+// pool after a Put.
+func (s *simLike) reacquired() {
+	sc := s.get()
+	s.put(sc)
+	sc = s.get()
+	sc.buf = nil
+	s.put(sc)
+}
+
+// suppressed documents an intentional escape (e.g. an owner transfer).
+func (s *simLike) suppressed() *scratch {
+	sc := s.get()
+	return sc //cablevet:ignore poolescape ownership transfers to the caller
+}

@@ -28,7 +28,7 @@ func ApplyLabels(s *Session, in io.Reader) (int, error) {
 		}
 		parts := strings.SplitN(line, "\t", 2)
 		if len(parts) != 2 {
-			return applied, fmt.Errorf("cable: labels line %d: want \"<label>\\t<trace>\"", lineno)
+			return applied, scanio.LineError("cable: labels", lineno, fmt.Errorf("want \"<label>\\t<trace>\""))
 		}
 		if i, ok := byKey[parts[1]]; ok {
 			s.LabelTrace(i, Label(parts[0]))

@@ -1,0 +1,62 @@
+package concept
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzConceptIO mirrors trace.FuzzTraceRoundTrip for the Burmeister
+// context format: anything ReadContext accepts must write and reparse to
+// the same context — dimensions, names, and the full relation — and the
+// serialization must be a fixpoint. Seeds cover the optional name line,
+// the optional blank separator, lower-case cells, and empty dimensions.
+func FuzzConceptIO(f *testing.F) {
+	for _, seed := range []string{
+		"B\nnamed\n2\n2\n\no1\no2\na1\na2\nX.\n.X\n",
+		"B\n1\n1\no\na\nX\n",            // no name line, no blank separator
+		"B\nk\n2\n1\no1\no2\na\nx\n.\n", // lower-case cell
+		"B\nempty\n0\n0\n\n",
+		"B\nwide\n1\n3\no\np\nq\nr\nX.X\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, name, err := ReadContext(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteContext(&buf, c, name); err != nil {
+			// Names with embedded newlines cannot come out of ReadContext
+			// (it is line-oriented), so Write must succeed.
+			t.Fatalf("WriteContext of parsed context failed: %v", err)
+		}
+		first := buf.String()
+		again, name2, err := ReadContext(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v\n%s", err, first)
+		}
+		if name2 != name && !(name == "" && strings.TrimSpace(name2) == "") {
+			t.Fatalf("name changed: %q -> %q", name, name2)
+		}
+		if again.NumObjects() != c.NumObjects() || again.NumAttributes() != c.NumAttributes() {
+			t.Fatalf("round trip changed dimensions: %dx%d -> %dx%d",
+				c.NumObjects(), c.NumAttributes(), again.NumObjects(), again.NumAttributes())
+		}
+		for o := 0; o < c.NumObjects(); o++ {
+			for a := 0; a < c.NumAttributes(); a++ {
+				if c.Has(o, a) != again.Has(o, a) {
+					t.Fatalf("relation changed at (%d,%d)", o, a)
+				}
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := WriteContext(&buf2, again, name2); err != nil {
+			t.Fatalf("WriteContext of reparsed context failed: %v", err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("serialization is not a fixpoint:\n%s\nvs\n%s", first, buf2.String())
+		}
+	})
+}

@@ -83,12 +83,12 @@ func ReadContext(r io.Reader) (*Context, string, error) {
 	}
 	header, ok := next()
 	if !ok || strings.TrimSpace(header) != "B" {
-		return nil, "", fmt.Errorf("concept: not a Burmeister context (missing B header)")
+		return nil, "", scanio.LineError("concept", 1, fmt.Errorf("not a Burmeister context (missing B header)"))
 	}
 	// The next line is either the name or the object count.
 	line, ok := next()
 	if !ok {
-		return nil, "", fmt.Errorf("concept: truncated context")
+		return nil, "", scanio.LineError("concept", pos+1, fmt.Errorf("truncated context"))
 	}
 	name := ""
 	nObj, err := strconv.Atoi(strings.TrimSpace(line))
@@ -96,31 +96,38 @@ func ReadContext(r io.Reader) (*Context, string, error) {
 		name = line
 		line, ok = next()
 		if !ok {
-			return nil, "", fmt.Errorf("concept: truncated context")
+			return nil, "", scanio.LineError("concept", pos+1, fmt.Errorf("truncated context"))
 		}
 		nObj, err = strconv.Atoi(strings.TrimSpace(line))
 		if err != nil {
-			return nil, "", fmt.Errorf("concept: bad object count %q", line)
+			return nil, "", scanio.LineError("concept", pos, fmt.Errorf("bad object count %q", line))
 		}
 	}
 	line, ok = next()
 	if !ok {
-		return nil, "", fmt.Errorf("concept: truncated context")
+		return nil, "", scanio.LineError("concept", pos+1, fmt.Errorf("truncated context"))
 	}
 	nAttr, err := strconv.Atoi(strings.TrimSpace(line))
 	if err != nil {
-		return nil, "", fmt.Errorf("concept: bad attribute count %q", line)
+		return nil, "", scanio.LineError("concept", pos, fmt.Errorf("bad attribute count %q", line))
 	}
 	if nObj < 0 || nAttr < 0 {
-		return nil, "", fmt.Errorf("concept: negative dimensions %d x %d", nObj, nAttr)
+		return nil, "", scanio.LineError("concept", pos, fmt.Errorf("negative dimensions %d x %d", nObj, nAttr))
 	}
 	// Optional blank separator.
 	if pos < len(lines) && strings.TrimSpace(lines[pos]) == "" {
 		pos++
 	}
+	// Bound each declared count by the lines actually present before
+	// computing `needed` or allocating: a huge count would overflow the
+	// sum (sliding past the check below) and then panic in make.
+	remaining := len(lines) - pos
+	if nObj > remaining || nAttr > remaining {
+		return nil, "", scanio.LineError("concept", len(lines)+1, fmt.Errorf("context declares %d x %d but only %d lines remain", nObj, nAttr, remaining))
+	}
 	needed := nObj + nAttr + nObj
-	if len(lines)-pos < needed {
-		return nil, "", fmt.Errorf("concept: context needs %d more lines, have %d", needed, len(lines)-pos)
+	if remaining < needed {
+		return nil, "", scanio.LineError("concept", len(lines)+1, fmt.Errorf("context needs %d more lines, have %d", needed, remaining))
 	}
 	objNames := make([]string, nObj)
 	for i := range objNames {
@@ -135,7 +142,7 @@ func ReadContext(r io.Reader) (*Context, string, error) {
 		row, _ := next()
 		row = strings.TrimRight(row, " \t\r")
 		if len(row) != nAttr {
-			return nil, "", fmt.Errorf("concept: row %d has %d cells, want %d", o, len(row), nAttr)
+			return nil, "", scanio.LineError("concept", pos, fmt.Errorf("row %d has %d cells, want %d", o, len(row), nAttr))
 		}
 		for a := 0; a < nAttr; a++ {
 			switch row[a] {
@@ -143,7 +150,7 @@ func ReadContext(r io.Reader) (*Context, string, error) {
 				c.Relate(o, a)
 			case '.':
 			default:
-				return nil, "", fmt.Errorf("concept: row %d: bad cell %q", o, row[a])
+				return nil, "", scanio.LineError("concept", pos, fmt.Errorf("row %d: bad cell %q", o, row[a]))
 			}
 		}
 	}

@@ -37,8 +37,22 @@ func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, work
 	sp := obs.StartSpan("concept.context")
 	defer sp.End()
 	obs.Count("concept.context.traces", int64(len(traces)))
+	// Strided cancellation checks keep the naming and relation loops
+	// responsive on very large inputs without paying a select per item.
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	objNames := make([]string, len(traces))
 	for i, t := range traces {
+		if i&1023 == 0 && cancelled() {
+			return nil, ctx.Err()
+		}
 		name := t.ID
 		if name == "" {
 			name = fmt.Sprintf("t%d", i)
@@ -47,6 +61,9 @@ func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, work
 	}
 	attrNames := make([]string, ref.NumTransitions())
 	for i, tr := range ref.Transitions() {
+		if i&1023 == 0 && cancelled() {
+			return nil, ctx.Err()
+		}
 		attrNames[i] = tr.String()
 	}
 	fc := NewContext(objNames, attrNames)
@@ -55,6 +72,9 @@ func TraceContextCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, work
 		return nil, err
 	}
 	for o := range traces {
+		if o&1023 == 0 && cancelled() {
+			return nil, ctx.Err()
+		}
 		if !accepted[o] {
 			return nil, fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), objNames[o], traces[o].Key())
 		}

@@ -6,8 +6,8 @@
 package exp
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 

@@ -429,7 +429,17 @@ func (s *Sim) ExecutedAllCtx(ctx context.Context, traces []trace.Trace, workers 
 	var reps []int // index into traces of each class representative
 	seen := make(map[string]int, len(traces))
 	var buf []byte
+	// The dedup pass hashes every trace key; on huge batches that is real
+	// work, so honor cancellation on a stride like the simulation loop.
+	done := ctx.Done()
 	for i, t := range traces {
+		if i&1023 == 0 {
+			select {
+			case <-done:
+				return nil, nil, ctx.Err()
+			default:
+			}
+		}
 		buf = t.AppendKey(buf[:0])
 		if c, ok := seen[string(buf)]; ok {
 			classOf[i] = c
@@ -452,6 +462,13 @@ func (s *Sim) ExecutedAllCtx(ctx context.Context, traces []trace.Trace, workers 
 	sets := make([]*bitset.Set, len(traces))
 	oks := make([]bool, len(traces))
 	for i, c := range classOf {
+		if i&8191 == 0 {
+			select {
+			case <-done:
+				return nil, nil, ctx.Err()
+			default:
+			}
+		}
 		sets[i], oks[i] = repSets[c], repOks[c]
 	}
 	return sets, oks, nil

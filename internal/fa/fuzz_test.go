@@ -45,6 +45,55 @@ func FuzzCompile(f *testing.F) {
 	})
 }
 
+// FuzzFAIO mirrors trace.FuzzTraceRoundTrip for the automaton format in
+// depth: any FA Read accepts must serialize and reparse to the same
+// machine — name, state count, transition count — and the serialization
+// must be a fixpoint (writing the reparse yields identical bytes), which
+// pins start/accept sets and transition order too. Seeds cover
+// wildcards, multi-start machines, comments, and the empty-name header.
+func FuzzFAIO(f *testing.F) {
+	for _, seed := range []string{
+		"fa t\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+		"fa\nstates 1\nstart 0\naccept 0\nend\n", // empty name
+		"fa w\nstates 2\nstart 0\naccept 1\nedge 0 1 *()\nedge 1 1 *()\nend\n",
+		"# header\nfa multi\nstates 3\nstart 0 1\naccept 1 2\nedge 0 2 X = fopen()\nedge 1 2 fclose(X)\nend\n",
+		"fa loop\nstates 1\nstart 0\naccept 0\nedge 0 0 f()\nedge 0 0 g()\nend\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if strings.Contains(m.Name(), "\n") {
+			return
+		}
+		var buf strings.Builder
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write of parsed FA failed: %v", err)
+		}
+		first := buf.String()
+		again, err := Read(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v\n%s", err, first)
+		}
+		if again.Name() != m.Name() || again.NumStates() != m.NumStates() ||
+			again.NumTransitions() != m.NumTransitions() {
+			t.Fatalf("round trip changed shape: %q %d/%d -> %q %d/%d",
+				m.Name(), m.NumStates(), m.NumTransitions(),
+				again.Name(), again.NumStates(), again.NumTransitions())
+		}
+		var buf2 strings.Builder
+		if err := Write(&buf2, again); err != nil {
+			t.Fatalf("Write of reparsed FA failed: %v", err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("serialization is not a fixpoint:\n%s\nvs\n%s", first, buf2.String())
+		}
+	})
+}
+
 // FuzzRead checks the FA file parser on arbitrary input.
 func FuzzRead(f *testing.F) {
 	var buf strings.Builder

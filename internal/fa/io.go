@@ -77,13 +77,13 @@ func Read(r io.Reader) (*FA, error) {
 			continue
 		}
 		if haveEnd {
-			return nil, fmt.Errorf("fa: line %d: content after end", lineno)
+			return nil, scanio.LineError("fa", lineno, fmt.Errorf("content after end"))
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "fa":
 			if b != nil {
-				return nil, fmt.Errorf("fa: line %d: nested fa record", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("nested fa record"))
 			}
 			name := ""
 			if len(fields) > 1 {
@@ -92,35 +92,39 @@ func Read(r io.Reader) (*FA, error) {
 			b = NewBuilder(name)
 		case "states":
 			if b == nil || len(fields) != 2 {
-				return nil, fmt.Errorf("fa: line %d: bad states line", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("bad states line"))
 			}
+			// maxStates bounds the declared count before States
+			// allocates: an absurd value would otherwise panic in make
+			// instead of returning a parse error.
+			const maxStates = 1 << 24
 			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("fa: line %d: bad state count %q", lineno, fields[1])
+			if err != nil || n < 0 || n > maxStates {
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("bad state count %q", fields[1]))
 			}
 			states = n
 			b.States(n)
 		case "start":
 			if b == nil {
-				return nil, fmt.Errorf("fa: line %d: start outside record", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("start outside record"))
 			}
 			ss, err := parseStates(fields[1:])
 			if err != nil {
-				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+				return nil, scanio.LineError("fa", lineno, err)
 			}
 			b.Start(ss...)
 		case "accept":
 			if b == nil {
-				return nil, fmt.Errorf("fa: line %d: accept outside record", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("accept outside record"))
 			}
 			ss, err := parseStates(fields[1:])
 			if err != nil {
-				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+				return nil, scanio.LineError("fa", lineno, err)
 			}
 			b.Accept(ss...)
 		case "edge":
 			if b == nil || len(fields) < 4 {
-				return nil, fmt.Errorf("fa: line %d: bad edge line", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("bad edge line"))
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "edge"))
 			fromTok, rest := nextToken(rest)
@@ -128,30 +132,30 @@ func Read(r io.Reader) (*FA, error) {
 			from, err1 := strconv.Atoi(fromTok)
 			to, err2 := strconv.Atoi(toTok)
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("fa: line %d: bad edge endpoints", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("bad edge endpoints"))
 			}
 			label, err := event.Parse(labelText)
 			if err != nil {
-				return nil, fmt.Errorf("fa: line %d: %v", lineno, err)
+				return nil, scanio.LineError("fa", lineno, err)
 			}
 			b.Edge(State(from), label, State(to))
 		case "end":
 			if b == nil {
-				return nil, fmt.Errorf("fa: line %d: end outside record", lineno)
+				return nil, scanio.LineError("fa", lineno, fmt.Errorf("end outside record"))
 			}
 			haveEnd = true
 		default:
-			return nil, fmt.Errorf("fa: line %d: unknown directive %q", lineno, fields[0])
+			return nil, scanio.LineError("fa", lineno, fmt.Errorf("unknown directive %q", fields[0]))
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, scanio.LineError("fa", lineno+1, err)
 	}
 	if b == nil {
-		return nil, fmt.Errorf("fa: no automaton in input")
+		return nil, fmt.Errorf("fa: no automaton in input") //cablevet:ignore errwrapline whole-input error, no line to blame
 	}
 	if !haveEnd {
-		return nil, fmt.Errorf("fa: missing end")
+		return nil, fmt.Errorf("fa: missing end") //cablevet:ignore errwrapline whole-input error, no line to blame
 	}
 	_ = states
 	return b.Build()

@@ -1,0 +1,18 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSurvivesLongLine pins the scanio dogfood fix in Run: before the
+// REPL shared the scanio scanner policy it used a default bufio.Scanner,
+// whose 64 KiB token cap made Scan fail on a long pasted line and
+// silently ended the loop — commands after the long line never ran.
+func TestRunSurvivesLongLine(t *testing.T) {
+	long := strings.Repeat("x", 128*1024)
+	out, _ := run(t, newSession(t), long, "help", "quit")
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("help after a 128 KiB line never ran; the scanner gave up:\n%.200s", out)
+	}
+}

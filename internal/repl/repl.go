@@ -5,7 +5,6 @@
 package repl
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +16,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/fa"
 	"repro/internal/obs"
+	"repro/internal/scanio"
 	"repro/internal/trace"
 	"repro/internal/workspace"
 )
@@ -56,7 +56,7 @@ func (r *REPL) Depth() int { return len(r.stack) }
 func (r *REPL) Run(in io.Reader) {
 	root := r.stack[0].session
 	fmt.Fprintf(r.out, "%d trace classes, %d concepts; type \"help\"\n", root.NumTraces(), root.Lattice().Len())
-	sc := bufio.NewScanner(in)
+	sc := scanio.NewScanner(in)
 	for r.prompt(); sc.Scan(); r.prompt() {
 		if !r.Exec(sc.Text()) {
 			return

@@ -79,7 +79,7 @@ type Concept struct {
 	// TotalTraces sums the classes' multiplicities.
 	TotalTraces int `json:"total_traces"`
 	// Similarity is the intent size — shared executed transitions.
-	Similarity int `json:"similarity"`
+	Similarity int   `json:"similarity"`
 	Parents    []int `json:"parents"`
 	Children   []int `json:"children"`
 	// Transitions renders the shared reference-FA transitions; present
@@ -168,6 +168,33 @@ type LabelsExport struct {
 type LabelLine struct {
 	Label string `json:"label"`
 	Key   string `json:"key"`
+}
+
+// LintRequest asks for a structural analysis of a specification FA
+// (internal/speclint), optionally against a trace corpus.
+type LintRequest struct {
+	// FA is the internal/fa text format of the spec to lint.
+	FA string `json:"fa"`
+	// Traces optionally carries the internal/trace text format; when
+	// present the alphabet-mismatch rule runs in both directions.
+	Traces string `json:"traces,omitempty"`
+}
+
+// LintFinding is one speclint diagnostic.
+type LintFinding struct {
+	// Spec is the automaton's name.
+	Spec string `json:"spec"`
+	// Rule is the stable rule slug, e.g. "unreachable-state".
+	Rule string `json:"rule"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+}
+
+// LintResponse lists the findings; Clean mirrors len(Findings) == 0 so
+// shell scripts can test one boolean.
+type LintResponse struct {
+	Findings []LintFinding `json:"findings"`
+	Clean    bool          `json:"clean"`
 }
 
 // Error is the uniform failure envelope; every non-2xx response body is

@@ -93,6 +93,18 @@ var goldens = []struct {
 		{Label: "good", Key: "X = popen(); pclose(X)"},
 		{Label: "bad", Key: "X = popen(); fread(X)"},
 	}}},
+	{"lint_request", LintRequest{
+		FA:     "fa vacuous\nstates 1\nstart 0\naccept 0\nedge 0 0 f()\nend\n",
+		Traces: "trace t0\n  f()\nend\n",
+	}},
+	{"lint_response", LintResponse{
+		Findings: []LintFinding{{
+			Spec:    "vacuous",
+			Rule:    "vacuous-acceptance",
+			Message: "spec accepts every trace over its alphabet",
+		}},
+		Clean: false,
+	}},
 	{"error", Error{Code: "not_found", Message: `cable: no such concept: 99 (lattice has 9)`}},
 }
 
@@ -183,6 +195,10 @@ func newZero(v any) any {
 		return &EndFocusResponse{}
 	case LabelsExport:
 		return &LabelsExport{}
+	case LintRequest:
+		return &LintRequest{}
+	case LintResponse:
+		return &LintResponse{}
 	case Error:
 		return &Error{}
 	default:

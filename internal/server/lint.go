@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/fa"
+	"repro/internal/server/apiv1"
+	"repro/internal/speclint"
+	"repro/internal/trace"
+)
+
+// handleLint runs speclint over a posted specification FA, optionally
+// with a trace corpus for alphabet checking. It is stateless — no
+// session is created — so spec authors can vet an automaton before
+// spending a lattice build on it.
+func (s *Server) handleLint(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.LintRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	spec, err := fa.Read(strings.NewReader(req.FA))
+	if err != nil {
+		return badRequest(fmt.Errorf("fa: %w", err))
+	}
+	var findings []speclint.Finding
+	if req.Traces != "" {
+		set, err := trace.Read(strings.NewReader(req.Traces))
+		if err != nil {
+			return badRequest(fmt.Errorf("traces: %w", err))
+		}
+		findings = speclint.LintWithTraces(spec, set.Representatives())
+	} else {
+		findings = speclint.Lint(spec)
+	}
+	resp := apiv1.LintResponse{
+		Findings: make([]apiv1.LintFinding, 0, len(findings)),
+		Clean:    len(findings) == 0,
+	}
+	for _, f := range findings {
+		resp.Findings = append(resp.Findings, apiv1.LintFinding{
+			Spec: f.Spec, Rule: f.Rule, Message: f.Message,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/server/apiv1"
+)
+
+func TestLintEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	// A seeded vacuous spec: the endpoint reports the exact speclint
+	// diagnostic and Clean=false.
+	var resp apiv1.LintResponse
+	status := c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA: "fa vacuous\nstates 1\nstart 0\naccept 0\nedge 0 0 f()\nend\n",
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("lint status = %d", status)
+	}
+	if resp.Clean || len(resp.Findings) != 1 {
+		t.Fatalf("lint response = %+v, want one finding", resp)
+	}
+	f := resp.Findings[0]
+	if f.Spec != "vacuous" || f.Rule != "vacuous-acceptance" ||
+		f.Message != "spec accepts every trace over its alphabet" {
+		t.Fatalf("finding = %+v", f)
+	}
+
+	// With traces attached, the alphabet-mismatch rule fires too.
+	resp = apiv1.LintResponse{}
+	status = c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA:     "fa m\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+		Traces: "trace t0\n  g()\nend\n",
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("lint status = %d", status)
+	}
+	rules := map[string]int{}
+	for _, f := range resp.Findings {
+		rules[f.Rule]++
+	}
+	if rules["alphabet-mismatch"] != 2 {
+		t.Fatalf("findings = %+v, want both alphabet-mismatch directions", resp.Findings)
+	}
+
+	// A clean spec yields Clean=true and an empty (non-null) list.
+	resp = apiv1.LintResponse{}
+	status = c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA: "fa ok\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("lint status = %d", status)
+	}
+	if !resp.Clean || resp.Findings == nil || len(resp.Findings) != 0 {
+		t.Fatalf("clean lint response = %+v", resp)
+	}
+
+	// A malformed FA is a bad request with the uniform error envelope.
+	if status := c.do("POST", "/v1/lint", apiv1.LintRequest{FA: "bogus\n"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("malformed fa status = %d, want 400", status)
+	}
+	if status := c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA:     "fa ok\nstates 1\nstart 0\naccept 0\nend\n",
+		Traces: "not a trace file \x00",
+	}, nil); status != http.StatusBadRequest {
+		t.Fatalf("malformed traces status = %d, want 400", status)
+	}
+}

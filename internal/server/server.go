@@ -83,6 +83,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/focus", s.instrument("focus", s.handleFocus))
 	mux.HandleFunc("POST /v1/sessions/{id}/end", s.instrument("end_focus", s.handleEndFocus))
 	mux.HandleFunc("GET /v1/sessions/{id}/labels", s.instrument("export_labels", s.handleExportLabels))
+	mux.HandleFunc("POST /v1/lint", s.instrument("lint", s.handleLint))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 	return s
@@ -211,24 +212,35 @@ func decodeJSON(r *http.Request, v any) error {
 
 // withSession resolves the {id} path value (session or focus-session ID),
 // locks its entry, and runs fn with the target session. The entry lock
-// spans fn, so handler bodies never race on one session.
-func (s *Server) withSession(r *http.Request, fn func(e *entry, sess *cable.Session) error) error {
+// spans fn, so handler bodies never race on one session — but only fn:
+// fn returns the status and payload to send, and the response is
+// serialized and written after the lock is released, so a slow client
+// cannot stall the session's other callers. The lockheld analyzer
+// enforces this split.
+func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(e *entry, sess *cable.Session) (int, any, error)) error {
 	id := r.PathValue("id")
 	res, ok := s.store.resolve(id)
 	if !ok {
 		return notFound(fmt.Errorf("no session %q", id))
 	}
-	res.entry.mu.Lock()
-	defer res.entry.mu.Unlock()
-	sess := res.session
-	if res.focusID != "" {
-		f, ok := res.entry.focuses[res.focusID]
-		if !ok {
-			return notFound(fmt.Errorf("focus session %q has ended", id))
+	status, payload, err := func() (int, any, error) {
+		res.entry.mu.Lock()
+		defer res.entry.mu.Unlock()
+		sess := res.session
+		if res.focusID != "" {
+			f, ok := res.entry.focuses[res.focusID]
+			if !ok {
+				return 0, nil, notFound(fmt.Errorf("focus session %q has ended", id))
+			}
+			sess = f.Session()
 		}
-		sess = f.Session()
+		return fn(res.entry, sess)
+	}()
+	if err != nil {
+		return err
 	}
-	return fn(res.entry, sess)
+	writeJSON(w, status, payload)
+	return nil
 }
 
 func parseSelector(sel *apiv1.Selector) (cable.Selector, error) {
@@ -349,10 +361,9 @@ func sortSessions(ss []apiv1.SessionInfo) {
 }
 
 func (s *Server) handleGetSession(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		focus := sess != e.session
-		writeJSON(w, http.StatusOK, s.sessionInfo(e, sess, focus, r.PathValue("id")))
-		return nil
+		return http.StatusOK, s.sessionInfo(e, sess, focus, r.PathValue("id")), nil
 	})
 }
 
@@ -422,17 +433,16 @@ func conceptDTO(sess *cable.Session, id int, withTransitions bool) (apiv1.Concep
 }
 
 func (s *Server) handleListConcepts(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		list := apiv1.ConceptList{Concepts: []apiv1.Concept{}}
 		for _, id := range sess.Lattice().TopDownOrder() {
 			dto, err := conceptDTO(sess, id, false)
 			if err != nil {
-				return err
+				return 0, nil, err
 			}
 			list.Concepts = append(list.Concepts, dto)
 		}
-		writeJSON(w, http.StatusOK, list)
-		return nil
+		return http.StatusOK, list, nil
 	})
 }
 
@@ -441,24 +451,23 @@ func (s *Server) handleGetConcept(ctx context.Context, w http.ResponseWriter, r 
 	if err != nil {
 		return badRequest(fmt.Errorf("concept id: %w", err))
 	}
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		dto, err := conceptDTO(sess, cid, true)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		writeJSON(w, http.StatusOK, dto)
-		return nil
+		return http.StatusOK, dto, nil
 	})
 }
 
 func (s *Server) handleListTraces(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		list := apiv1.TraceList{Traces: []apiv1.TraceClass{}}
 		labels := sess.Labels()
 		for i, t := range sess.Representatives() {
 			count, err := sess.Multiplicity(i)
 			if err != nil {
-				return err
+				return 0, nil, err
 			}
 			tc := apiv1.TraceClass{Index: i, Key: t.Key(), Count: count}
 			if labels[i] != cable.Unlabeled {
@@ -466,8 +475,7 @@ func (s *Server) handleListTraces(ctx context.Context, w http.ResponseWriter, r 
 			}
 			list.Traces = append(list.Traces, tc)
 		}
-		writeJSON(w, http.StatusOK, list)
-		return nil
+		return http.StatusOK, list, nil
 	})
 }
 
@@ -482,24 +490,22 @@ func (s *Server) handleLabel(ctx context.Context, w http.ResponseWriter, r *http
 	if (req.Trace == nil) == (req.Concept == nil) {
 		return badRequest(errors.New(`set exactly one of "trace" or "concept"`))
 	}
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		if req.Trace != nil {
 			if err := sess.LabelTrace(*req.Trace, cable.Label(req.Label)); err != nil {
-				return err
+				return 0, nil, err
 			}
-			writeJSON(w, http.StatusOK, apiv1.LabelResponse{Labeled: 1})
-			return nil
+			return http.StatusOK, apiv1.LabelResponse{Labeled: 1}, nil
 		}
 		sel, err := parseSelector(req.Selector)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
 		n, err := sess.LabelTraces(*req.Concept, sel, cable.Label(req.Label))
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		writeJSON(w, http.StatusOK, apiv1.LabelResponse{Labeled: n})
-		return nil
+		return http.StatusOK, apiv1.LabelResponse{Labeled: n}, nil
 	})
 }
 
@@ -508,20 +514,19 @@ func (s *Server) handleSuggest(ctx context.Context, w http.ResponseWriter, r *ht
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		sug, err := sess.SuggestFocus(req.Concept)
 		if err != nil {
 			if errors.Is(err, cable.ErrBadConcept) {
-				return err
+				return 0, nil, err
 			}
-			return conflict(err)
+			return 0, nil, conflict(err)
 		}
 		var b strings.Builder
 		if err := fa.Write(&b, sug.Ref); err != nil {
-			return err
+			return 0, nil, err
 		}
-		writeJSON(w, http.StatusOK, apiv1.SuggestResponse{Template: sug.Template, RefFA: b.String()})
-		return nil
+		return http.StatusOK, apiv1.SuggestResponse{Template: sug.Template, RefFA: b.String()}, nil
 	})
 }
 
@@ -538,27 +543,30 @@ func (s *Server) handleFocus(ctx context.Context, w http.ResponseWriter, r *http
 	if err != nil {
 		return err
 	}
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		if sess != e.session {
-			return badRequest(errors.New("nested focus is not supported over the API; end the current focus first"))
+			return 0, nil, badRequest(errors.New("nested focus is not supported over the API; end the current focus first"))
 		}
+		// The focus sub-lattice is deliberately built under the entry
+		// lock: the focus registry lives in the parent entry, and
+		// concurrent Focus/End on one session are serialized by design.
+		//cablevet:ignore lockheld focus build is serialized with its session by design
 		f, err := sess.Focus(req.Concept, sel, ref, cable.WithContext(ctx))
 		if err != nil {
 			if errors.Is(err, cable.ErrBadConcept) || ctx.Err() != nil {
-				return err
+				return 0, nil, err
 			}
-			return badRequest(err)
+			return 0, nil, badRequest(err)
 		}
 		fid, err := s.store.addFocus(e, f)
 		if err != nil {
-			return err
+			return 0, nil, err
 		}
-		writeJSON(w, http.StatusCreated, apiv1.FocusResponse{
+		return http.StatusCreated, apiv1.FocusResponse{
 			SessionID:   fid,
 			NumTraces:   f.Session().NumTraces(),
 			NumConcepts: f.Session().Lattice().Len(),
-		})
-		return nil
+		}, nil
 	})
 }
 
@@ -568,23 +576,29 @@ func (s *Server) handleEndFocus(ctx context.Context, w http.ResponseWriter, r *h
 	if !ok || res.focusID == "" {
 		return notFound(fmt.Errorf("no focus session %q", id))
 	}
-	res.entry.mu.Lock()
-	defer res.entry.mu.Unlock()
-	f, ok := res.entry.focuses[res.focusID]
-	if !ok {
-		return notFound(fmt.Errorf("focus session %q has already ended", id))
-	}
-	merged, err := f.End()
+	resp, err := func() (apiv1.EndFocusResponse, error) {
+		res.entry.mu.Lock()
+		defer res.entry.mu.Unlock()
+		f, ok := res.entry.focuses[res.focusID]
+		if !ok {
+			return apiv1.EndFocusResponse{}, notFound(fmt.Errorf("focus session %q has already ended", id))
+		}
+		merged, err := f.End()
+		if err != nil {
+			return apiv1.EndFocusResponse{}, err
+		}
+		s.store.dropFocus(res.entry, res.focusID)
+		return apiv1.EndFocusResponse{Merged: merged}, nil
+	}()
 	if err != nil {
 		return err
 	}
-	s.store.dropFocus(res.entry, res.focusID)
-	writeJSON(w, http.StatusOK, apiv1.EndFocusResponse{Merged: merged})
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
 func (s *Server) handleExportLabels(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	return s.withSession(r, func(e *entry, sess *cable.Session) error {
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
 		export := apiv1.LabelsExport{Labels: []apiv1.LabelLine{}}
 		reps := sess.Representatives()
 		for i, l := range sess.Labels() {
@@ -592,8 +606,7 @@ func (s *Server) handleExportLabels(ctx context.Context, w http.ResponseWriter, 
 				export.Labels = append(export.Labels, apiv1.LabelLine{Label: string(l), Key: reps[i].Key()})
 			}
 		}
-		writeJSON(w, http.StatusOK, export)
-		return nil
+		return http.StatusOK, export, nil
 	})
 }
 

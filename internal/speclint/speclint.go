@@ -1,0 +1,268 @@
+// Package speclint statically analyzes specification automata for the
+// structural defects that make concept-analysis debugging sessions
+// misleading before a single trace is clustered: states the FA can never
+// enter, transitions that lie on no accepting path (their attribute
+// column in the trace context is constantly empty), nondeterministic
+// ambiguity (one event, several successor states, so "executed
+// transitions" stops being well defined for the paper's Section 3.2
+// context), vacuous acceptance (the spec accepts every trace over its
+// alphabet and can therefore never flag a violation), and — when a trace
+// corpus is supplied — alphabet mismatch in both directions between the
+// spec and the traces it is meant to classify.
+//
+// speclint is the specification-level counterpart of cmd/cablevet: vet
+// checks the Go code of this repo, speclint checks the FA artifacts the
+// repo consumes. Both run in `make ci`.
+package speclint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fa"
+	"repro/internal/trace"
+)
+
+// Rule names, used in Finding.Rule and in diagnostics filtering.
+const (
+	RuleUnreachableState = "unreachable-state"
+	RuleDeadTransition   = "dead-transition"
+	RuleAmbiguity        = "ambiguity"
+	RuleVacuous          = "vacuous-acceptance"
+	RuleAlphabetMismatch = "alphabet-mismatch"
+)
+
+// Rules lists every rule name in report order.
+func Rules() []string {
+	return []string{
+		RuleUnreachableState,
+		RuleDeadTransition,
+		RuleAmbiguity,
+		RuleVacuous,
+		RuleAlphabetMismatch,
+	}
+}
+
+// Finding is one diagnostic about a specification automaton.
+type Finding struct {
+	Spec    string `json:"spec"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the finding as "spec: rule: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Spec, f.Rule, f.Message)
+}
+
+// Lint runs the structural rules — everything that needs only the
+// automaton itself. Findings come out in rule order (Rules), sub-ordered
+// by state and transition index, so reports are deterministic.
+func Lint(f *fa.FA) []Finding {
+	var out []Finding
+	reach := reachable(f)
+	coreach := coreachable(f)
+
+	for s := 0; s < f.NumStates(); s++ {
+		if !reach[s] {
+			out = append(out, Finding{
+				Spec: f.Name(), Rule: RuleUnreachableState,
+				Message: fmt.Sprintf("state s%d is unreachable from the start states", s),
+			})
+		}
+	}
+
+	// A transition out of an unreachable state is implied by the
+	// unreachable-state finding; only transitions the automaton can
+	// actually take but that never lead to acceptance are reported.
+	for _, t := range f.Transitions() {
+		if reach[int(t.From)] && !coreach[int(t.To)] {
+			out = append(out, Finding{
+				Spec: f.Name(), Rule: RuleDeadTransition,
+				Message: fmt.Sprintf("transition %s is never on an accepting path", t),
+			})
+		}
+	}
+
+	out = append(out, ambiguity(f)...)
+
+	if vacuous(f) {
+		out = append(out, Finding{
+			Spec: f.Name(), Rule: RuleVacuous,
+			Message: "spec accepts every trace over its alphabet",
+		})
+	}
+	return out
+}
+
+// LintWithTraces runs Lint plus the alphabet-mismatch rule against a
+// trace corpus: events the traces use but no spec transition can match
+// (the spec silently rejects every such trace), and events the spec
+// spells out but no trace ever performs (dead vocabulary, often a typo
+// in the spec).
+func LintWithTraces(f *fa.FA, traces []trace.Trace) []Finding {
+	out := Lint(f)
+
+	inTraces := map[string]bool{}
+	for _, t := range traces {
+		for _, e := range t.Events {
+			inTraces[e.String()] = true
+		}
+	}
+	inSpec := map[string]bool{}
+	var specEvents []string
+	for _, e := range f.Alphabet() {
+		s := e.String()
+		inSpec[s] = true
+		specEvents = append(specEvents, s)
+	}
+
+	// Traces → spec: pointless unless the spec is wildcard-free — a
+	// wildcard transition matches every event.
+	if !f.HasWildcard() {
+		var missing []string
+		for e := range inTraces {
+			if !inSpec[e] {
+				missing = append(missing, e)
+			}
+		}
+		sort.Strings(missing)
+		for _, e := range missing {
+			out = append(out, Finding{
+				Spec: f.Name(), Rule: RuleAlphabetMismatch,
+				Message: fmt.Sprintf("event %s appears in the traces but no spec transition matches it", e),
+			})
+		}
+	}
+
+	// Spec → traces.
+	for _, e := range specEvents {
+		if !inTraces[e] {
+			out = append(out, Finding{
+				Spec: f.Name(), Rule: RuleAlphabetMismatch,
+				Message: fmt.Sprintf("event %s labels a spec transition but occurs in no trace", e),
+			})
+		}
+	}
+	return out
+}
+
+// reachable marks states reachable from a start state.
+func reachable(f *fa.FA) []bool {
+	seen := make([]bool, f.NumStates())
+	var queue []int
+	for _, s := range f.StartStates() {
+		if !seen[int(s)] {
+			seen[int(s)] = true
+			queue = append(queue, int(s))
+		}
+	}
+	fwd := make([][]int, f.NumStates())
+	for _, t := range f.Transitions() {
+		fwd[int(t.From)] = append(fwd[int(t.From)], int(t.To))
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, n := range fwd[s] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return seen
+}
+
+// coreachable marks states from which some accepting state is reachable.
+func coreachable(f *fa.FA) []bool {
+	seen := make([]bool, f.NumStates())
+	var queue []int
+	for _, s := range f.AcceptStates() {
+		if !seen[int(s)] {
+			seen[int(s)] = true
+			queue = append(queue, int(s))
+		}
+	}
+	rev := make([][]int, f.NumStates())
+	for _, t := range f.Transitions() {
+		rev[int(t.To)] = append(rev[int(t.To)], int(t.From))
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, n := range rev[s] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return seen
+}
+
+// ambiguity reports, per state and label, how many transitions match one
+// event: two same-label edges, or a wildcard edge overlapping anything
+// (including a second wildcard). Matching mirrors fa.FA.matching.
+func ambiguity(f *fa.FA) []Finding {
+	var out []Finding
+	byFrom := make([][]fa.Transition, f.NumStates())
+	for _, t := range f.Transitions() {
+		byFrom[int(t.From)] = append(byFrom[int(t.From)], t)
+	}
+	for s := 0; s < f.NumStates(); s++ {
+		wild := 0
+		counts := map[string]int{}
+		var order []string
+		for _, t := range byFrom[s] {
+			if fa.IsWildcard(t.Label) {
+				wild++
+				continue
+			}
+			key := t.Label.String()
+			if counts[key] == 0 {
+				order = append(order, key)
+			}
+			counts[key]++
+		}
+		sort.Strings(order)
+		for _, key := range order {
+			if n := counts[key] + wild; n > 1 {
+				out = append(out, Finding{
+					Spec: f.Name(), Rule: RuleAmbiguity,
+					Message: fmt.Sprintf("state s%d is nondeterministic on %s: %d transitions match", s, key, n),
+				})
+			}
+		}
+		if wild > 1 {
+			out = append(out, Finding{
+				Spec: f.Name(), Rule: RuleAmbiguity,
+				Message: fmt.Sprintf("state s%d is nondeterministic on %s: %d transitions match", s, fa.Wildcard(), wild),
+			})
+		}
+	}
+	return out
+}
+
+// vacuous reports whether the automaton accepts every trace over its own
+// alphabet: expand wildcards, determinize, complete, and check that no
+// reachable state rejects. An automaton the pipeline cannot normalize is
+// never reported vacuous.
+func vacuous(f *fa.FA) bool {
+	alphabet := f.Alphabet()
+	det, err := f.ExpandWildcards(alphabet).Determinize()
+	if err != nil {
+		return false
+	}
+	complete, err := det.Complete(alphabet)
+	if err != nil {
+		return false
+	}
+	reach := reachable(complete)
+	for s := 0; s < complete.NumStates(); s++ {
+		if reach[s] && !complete.IsAccept(fa.State(s)) {
+			return false
+		}
+	}
+	return true
+}

@@ -74,11 +74,11 @@ func Read(r io.Reader) (*Set, error) {
 			continue
 		case line == "trace" || strings.HasPrefix(line, "trace "):
 			if cur != nil {
-				return nil, fmt.Errorf("trace: line %d: nested trace record", lineno)
+				return nil, scanio.LineError("trace", lineno, fmt.Errorf("nested trace record"))
 			}
 			fields := strings.Fields(line)
 			if len(fields) > 2 {
-				return nil, fmt.Errorf("trace: line %d: trace ID must be a single word", lineno)
+				return nil, scanio.LineError("trace", lineno, fmt.Errorf("trace ID must be a single word"))
 			}
 			id := ""
 			if len(fields) == 2 {
@@ -87,17 +87,17 @@ func Read(r io.Reader) (*Set, error) {
 			cur = &Trace{ID: id}
 		case line == "end":
 			if cur == nil {
-				return nil, fmt.Errorf("trace: line %d: end outside trace record", lineno)
+				return nil, scanio.LineError("trace", lineno, fmt.Errorf("end outside trace record"))
 			}
 			s.Add(*cur)
 			cur = nil
 		default:
 			if cur == nil {
-				return nil, fmt.Errorf("trace: line %d: event outside trace record", lineno)
+				return nil, scanio.LineError("trace", lineno, fmt.Errorf("event outside trace record"))
 			}
 			e, err := event.Parse(line)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+				return nil, scanio.LineError("trace", lineno, err)
 			}
 			cur.Events = append(cur.Events, e)
 			events++
@@ -107,7 +107,7 @@ func Read(r io.Reader) (*Set, error) {
 		return nil, scanio.LineError("trace", lineno+1, err)
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("trace: unterminated trace record %q", cur.ID)
+		return nil, fmt.Errorf("trace: unterminated trace record %q", cur.ID) //cablevet:ignore errwrapline whole-input error, no line to blame
 	}
 	obs.Count("trace.read.lines", int64(lineno))
 	obs.Count("trace.read.traces", int64(s.Total()))

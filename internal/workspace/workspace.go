@@ -76,7 +76,7 @@ func Load(r io.Reader) (*cable.Session, error) {
 		if err := sc.Err(); err != nil {
 			return nil, scanio.LineError("workspace", 1, err)
 		}
-		return nil, fmt.Errorf("workspace: missing %q header", header)
+		return nil, scanio.LineError("workspace", 1, fmt.Errorf("missing %q header", header))
 	}
 	lineno++
 	sections := map[string]*strings.Builder{}
@@ -95,7 +95,7 @@ func Load(r io.Reader) (*cable.Session, error) {
 				if strings.TrimSpace(line) == "" {
 					continue
 				}
-				return nil, fmt.Errorf("workspace: content outside any section: %q", line)
+				return nil, scanio.LineError("workspace", lineno, fmt.Errorf("content outside any section: %q", line))
 			}
 			cur.WriteString(line)
 			cur.WriteByte('\n')
@@ -106,23 +106,23 @@ func Load(r io.Reader) (*cable.Session, error) {
 	}
 	for _, name := range []string{sectionFA, sectionTraces, sectionLabels} {
 		if sections[name] == nil {
-			return nil, fmt.Errorf("workspace: missing section %q", name)
+			return nil, fmt.Errorf("workspace: missing section %q", name) //cablevet:ignore errwrapline whole-input error, no line to blame
 		}
 	}
 	ref, err := fa.Read(strings.NewReader(sections[sectionFA].String()))
 	if err != nil {
-		return nil, fmt.Errorf("workspace: fa section: %v", err)
+		return nil, fmt.Errorf("workspace: fa section: %w", err) //cablevet:ignore errwrapline wraps the sub-reader LineError
 	}
 	set, err := trace.Read(strings.NewReader(sections[sectionTraces].String()))
 	if err != nil {
-		return nil, fmt.Errorf("workspace: traces section: %v", err)
+		return nil, fmt.Errorf("workspace: traces section: %w", err) //cablevet:ignore errwrapline wraps the sub-reader LineError
 	}
 	session, err := cable.NewSession(set, ref)
 	if err != nil {
-		return nil, fmt.Errorf("workspace: %v", err)
+		return nil, fmt.Errorf("workspace: %w", err) //cablevet:ignore errwrapline not a parse error
 	}
 	if _, err := cable.ApplyLabels(session, strings.NewReader(sections[sectionLabels].String())); err != nil {
-		return nil, fmt.Errorf("workspace: labels section: %v", err)
+		return nil, fmt.Errorf("workspace: labels section: %w", err) //cablevet:ignore errwrapline wraps the sub-reader LineError
 	}
 	return session, nil
 }

@@ -59,6 +59,19 @@ go test -run '^$' -bench 'BenchmarkTraceContext' \
 to_json < "$TMP_FA" > BENCH_fa.json
 echo "wrote BENCH_fa.json"
 
+# One merged file keyed by suite, so trend tooling reads a single
+# artifact instead of stitching the per-suite files.
+{
+    echo '{'
+    echo '  "lattice":'
+    sed 's/^/    /' BENCH_lattice.json
+    echo '  ,'
+    echo '  "fa":'
+    sed 's/^/    /' BENCH_fa.json
+    echo '}'
+} > BENCH_summary.json
+echo "wrote BENCH_summary.json"
+
 # Phase-attributed metrics snapshot next to the raw numbers: where a
 # Table-2 run spends its time (trace parse, FA sim, context build, lattice
 # build, cover linking), not just how long the benchmarks took.
