@@ -44,7 +44,7 @@ race:
 # benchmarks: catches benchmark-code rot without paying for stable
 # measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkBitset' \
+	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkLatticeBig|BenchmarkBitset|BenchmarkArena' \
 	    -benchtime 1x ./internal/concept ./internal/bitset
 	$(GO) test -run '^$$' -bench 'BenchmarkExecuted|BenchmarkExecutedAll|BenchmarkAccepts|BenchmarkTraceContext' \
 	    -benchtime 1x ./internal/fa ./internal/concept

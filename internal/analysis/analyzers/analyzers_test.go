@@ -28,8 +28,12 @@ func TestLockHeldGolden(t *testing.T) {
 	analysistest.Run(t, "testdata/lockheld", analyzers.LockHeld)
 }
 
+func TestPoolArenaGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/poolarena", analyzers.PoolArena)
+}
+
 func TestAllIsStable(t *testing.T) {
-	want := []string{"obsspan", "poolescape", "ctxpropagate", "errwrapline", "lockheld"}
+	want := []string{"obsspan", "poolescape", "ctxpropagate", "errwrapline", "lockheld", "poolarena"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

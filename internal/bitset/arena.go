@@ -1,0 +1,116 @@
+package bitset
+
+// Arena is a slab allocator for batch-building many sets with O(1)
+// allocations. A lattice build creates tens of thousands of small intent
+// and extent bitsets whose lifetimes all end together (when the lattice is
+// dropped); backing them with per-set make calls costs one heap object —
+// and eventually one free — per set. An Arena instead carves word storage,
+// Set headers, and sparse element lists out of geometrically grown slabs,
+// so the garbage collector sees a handful of large objects.
+//
+// Ownership: everything an Arena hands out is referenced by the arena's
+// slabs, so arena-backed sets keep the whole slab alive and must not
+// outlive the structure the arena was created for (the cablevet poolarena
+// check enforces this for lattice builds). Arenas are not safe for
+// concurrent allocation; allocate from one goroutine, share the resulting
+// read-only sets freely.
+type Arena struct {
+	words []uint64 // current word slab; len is the high-water mark
+	sets  []Set    // current Set-header slab
+	ints  []int32  // current sparse-element slab
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+const (
+	arenaMinWords = 1 << 12 // first word slab: 32 KiB
+	arenaMaxWords = 1 << 20 // slab growth cap: 8 MiB per slab
+	arenaSetChunk = 256     // Set headers per header slab
+)
+
+// allocWords returns a zeroed n-word slice carved from the slab. The result
+// is capacity-clamped so append on one set can never scribble over its slab
+// neighbour: growing past n reallocates onto the heap instead.
+func (a *Arena) allocWords(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.words)+n > cap(a.words) {
+		size := 2 * cap(a.words)
+		if size < arenaMinWords {
+			size = arenaMinWords
+		}
+		if size > arenaMaxWords {
+			size = arenaMaxWords
+		}
+		if size < n {
+			size = n
+		}
+		// The old slab stays alive through the sets already carved from it.
+		a.words = make([]uint64, 0, size)
+	}
+	w := a.words[len(a.words) : len(a.words)+n : len(a.words)+n]
+	a.words = a.words[:len(a.words)+n]
+	return w
+}
+
+// Set returns a fresh empty set whose words live in the arena. lenBits is
+// the initial universe size covered by zeroed words; capBits reserves
+// capacity so the set can grow to that universe (via Add/ensure) without
+// leaving the arena. capBits is clamped up to lenBits.
+func (a *Arena) Set(lenBits, capBits int) *Set {
+	if capBits < lenBits {
+		capBits = lenBits
+	}
+	nw := (lenBits + wordBits - 1) / wordBits
+	cw := (capBits + wordBits - 1) / wordBits
+	s := a.header()
+	if cw > 0 {
+		s.words = a.allocWords(cw)[:nw]
+	}
+	return s
+}
+
+// Clone returns an arena-backed copy of src. The copy's capacity equals
+// src's length; callers that will grow the clone should copy into an
+// a.Set(..., capBits) instead.
+func (a *Arena) Clone(src *Set) *Set {
+	s := a.header()
+	if len(src.words) > 0 {
+		s.words = a.allocWords(len(src.words))
+		copy(s.words, src.words)
+	}
+	s.pop = src.pop
+	return s
+}
+
+// header carves one Set header out of the header slab.
+func (a *Arena) header() *Set {
+	if len(a.sets) == cap(a.sets) {
+		a.sets = make([]Set, 0, arenaSetChunk)
+	}
+	a.sets = a.sets[:len(a.sets)+1]
+	return &a.sets[len(a.sets)-1]
+}
+
+// Int32s returns a zero-length int32 slice with capacity n carved from the
+// arena, for sparse element lists that live exactly as long as their sets.
+func (a *Arena) Int32s(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.ints)+n > cap(a.ints) {
+		size := 2 * cap(a.ints)
+		if size < arenaMinWords {
+			size = arenaMinWords
+		}
+		if size < n {
+			size = n
+		}
+		a.ints = make([]int32, 0, size)
+	}
+	out := a.ints[len(a.ints) : len(a.ints) : len(a.ints)+n]
+	a.ints = a.ints[:len(a.ints)+n]
+	return out
+}

@@ -5,12 +5,22 @@
 // sets (internal/fa), and labeled-trace sets in strategy search
 // (internal/strategy) are all bitsets. The implementation is a plain slice
 // of 64-bit words; the zero value is an empty set ready to use.
+//
+// Hot-path kernels follow two rules: they are word-parallel (never
+// per-element loops) and they bail out as early as the answer is known —
+// SubsetOf, Equal, and Intersects return on the first mismatching word.
+// Len caches its popcount so repeated size queries on immutable sets (the
+// shape concept lattices produce) cost one atomic load; every mutator
+// invalidates the cache. For batch construction, Arena (arena.go) carves
+// many sets out of shared slabs so building a lattice performs O(1)
+// allocations instead of one per set.
 package bitset
 
 import (
 	"math/bits"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 const wordBits = 64
@@ -19,6 +29,11 @@ const wordBits = 64
 // The zero value is an empty set.
 type Set struct {
 	words []uint64
+	// pop caches Len()+1; 0 means unknown. Len loads and stores it
+	// atomically so concurrent readers of an immutable set are safe;
+	// mutators reset it with a plain store (mutation concurrent with any
+	// reader is already a race on words).
+	pop int32
 }
 
 // New returns an empty set with capacity preallocated for elements in
@@ -53,7 +68,7 @@ func Full(n int) *Set {
 	if r := n % wordBits; r != 0 {
 		words[len(words)-1] = (1 << uint(r)) - 1
 	}
-	return &Set{words: words}
+	return &Set{words: words, pop: int32(n) + 1}
 }
 
 // FillFull makes s equal to {0, ..., n-1}, reusing s's storage when it is
@@ -61,6 +76,7 @@ func Full(n int) *Set {
 func (s *Set) FillFull(n int) *Set {
 	if n <= 0 {
 		s.words = s.words[:0]
+		s.pop = 1
 		return s
 	}
 	nw := (n + wordBits - 1) / wordBits
@@ -75,6 +91,7 @@ func (s *Set) FillFull(n int) *Set {
 	if r := n % wordBits; r != 0 {
 		s.words[nw-1] = (1 << uint(r)) - 1
 	}
+	s.pop = int32(n) + 1
 	return s
 }
 
@@ -94,7 +111,36 @@ func IntersectInto(dst, a, b *Set) *Set {
 	for i := 0; i < n; i++ {
 		dst.words[i] = a.words[i] & b.words[i]
 	}
+	dst.pop = 0
 	return dst
+}
+
+// IntersectEqualsInto sets dst = a ∩ b, reusing dst's storage, and reports
+// whether the intersection equals a — that is, whether a ⊆ b. It fuses the
+// SubsetOf + IntersectInto double pass the lattice builder's inner loop
+// used to make: one word-parallel sweep produces both the intersection and
+// the subset verdict. dst must not alias a or b.
+func IntersectEqualsInto(dst, a, b *Set) bool {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(dst.words) < n {
+		dst.words = make([]uint64, n)
+	} else {
+		dst.words = dst.words[:n]
+	}
+	var diff uint64
+	for i := 0; i < n; i++ {
+		w := a.words[i] & b.words[i]
+		diff |= w ^ a.words[i]
+		dst.words[i] = w
+	}
+	for _, w := range a.words[n:] {
+		diff |= w
+	}
+	dst.pop = 0
+	return diff == 0
 }
 
 // CopyFrom makes s an exact copy of t, reusing s's storage when it is large
@@ -107,14 +153,31 @@ func (s *Set) CopyFrom(t *Set) *Set {
 		s.words = s.words[:len(t.words)]
 	}
 	copy(s.words, t.words)
+	s.pop = atomic.LoadInt32(&t.pop)
 	return s
 }
 
+// ensure grows s.words to cover the given word index. Growth first extends
+// in place when capacity allows (zeroing the exposed words, which may hold
+// stale data from an earlier truncation), then reallocates geometrically so
+// a set grown one word at a time costs O(log n) allocations, not O(n).
 func (s *Set) ensure(word int) {
 	if word < len(s.words) {
 		return
 	}
-	grown := make([]uint64, word+1)
+	if word < cap(s.words) {
+		n := len(s.words)
+		s.words = s.words[:word+1]
+		for i := n; i <= word; i++ {
+			s.words[i] = 0
+		}
+		return
+	}
+	newCap := 2 * cap(s.words)
+	if newCap < word+1 {
+		newCap = word + 1
+	}
+	grown := make([]uint64, word+1, newCap)
 	copy(grown, s.words)
 	s.words = grown
 }
@@ -127,6 +190,7 @@ func (s *Set) Add(i int) {
 	w := i / wordBits
 	s.ensure(w)
 	s.words[w] |= 1 << uint(i%wordBits)
+	s.pop = 0
 }
 
 // Remove deletes i from the set; removing an absent element is a no-op.
@@ -137,6 +201,7 @@ func (s *Set) Remove(i int) {
 	w := i / wordBits
 	if w < len(s.words) {
 		s.words[w] &^= 1 << uint(i%wordBits)
+		s.pop = 0
 	}
 }
 
@@ -149,12 +214,19 @@ func (s *Set) Has(i int) bool {
 	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
 }
 
-// Len returns the number of elements in the set.
+// Len returns the number of elements in the set. The popcount is cached:
+// the first call on a set that has not been mutated since stores the
+// count, and later calls return it with one atomic load. Concurrent Len
+// calls on a shared immutable set are safe.
 func (s *Set) Len() int {
+	if p := atomic.LoadInt32(&s.pop); p != 0 {
+		return int(p) - 1
+	}
 	n := 0
 	for _, w := range s.words {
 		n += bits.OnesCount64(w)
 	}
+	atomic.StoreInt32(&s.pop, int32(n)+1)
 	return n
 }
 
@@ -172,6 +244,7 @@ func (s *Set) Empty() bool {
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
+	c.pop = atomic.LoadInt32(&s.pop)
 	return c
 }
 
@@ -180,6 +253,7 @@ func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.pop = 1
 }
 
 // trim drops trailing zero words so that structurally equal sets compare
@@ -198,6 +272,7 @@ func (s *Set) UnionWith(t *Set) {
 	for i, w := range t.words {
 		s.words[i] |= w
 	}
+	s.pop = 0
 }
 
 // IntersectWith removes from s every element not in t.
@@ -209,6 +284,7 @@ func (s *Set) IntersectWith(t *Set) {
 			s.words[i] = 0
 		}
 	}
+	s.pop = 0
 }
 
 // DifferenceWith removes every element of t from s.
@@ -218,6 +294,7 @@ func (s *Set) DifferenceWith(t *Set) {
 			s.words[i] &^= t.words[i]
 		}
 	}
+	s.pop = 0
 }
 
 // Union returns a new set holding s ∪ t.
@@ -241,7 +318,8 @@ func Difference(s, t *Set) *Set {
 	return u
 }
 
-// Equal reports whether s and t contain the same elements.
+// Equal reports whether s and t contain the same elements. It returns on
+// the first mismatching word.
 func (s *Set) Equal(t *Set) bool {
 	long, short := s.words, t.words
 	if len(long) < len(short) {
@@ -260,7 +338,8 @@ func (s *Set) Equal(t *Set) bool {
 	return true
 }
 
-// SubsetOf reports whether every element of s is in t.
+// SubsetOf reports whether every element of s is in t. It returns on the
+// first word holding an element of s missing from t.
 func (s *Set) SubsetOf(t *Set) bool {
 	for i, w := range s.words {
 		var tw uint64
@@ -301,6 +380,36 @@ func (s *Set) Elems() []int {
 		return true
 	})
 	return out
+}
+
+// AppendElems32 appends the set's elements, in increasing order, to dst as
+// int32 values and returns the extended slice. It is the sparse projection
+// used for the long tail of small sets over wide universes: iterating a
+// handful of elements beats sweeping hundreds of mostly-zero words.
+func (s *Set) AppendElems32(dst []int32) []int32 {
+	for wi, w := range s.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// SparseSubsetOf reports whether every element of the sparse set elems
+// (int32 elements, any order, no negatives) is in t. For a set of k
+// elements over a universe of w words this costs O(k) instead of the O(w)
+// of the dense SubsetOf — the win that motivates keeping sparse projections
+// of small extents during cover linking.
+func SparseSubsetOf(elems []int32, t *Set) bool {
+	for _, e := range elems {
+		w := int(e) / wordBits
+		if w >= len(t.words) || t.words[w]&(1<<uint(int(e)%wordBits)) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Range calls f on each element in increasing order; if f returns false the
@@ -348,6 +457,27 @@ func (s *Set) AppendKey(dst []byte) []byte {
 			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
 	return dst
+}
+
+// Hash returns a structural 64-bit hash of the set: equal sets hash
+// equally regardless of trailing zero words or construction history. It is
+// the word-level replacement for hashing AppendKey bytes — hot paths hash
+// the words directly and skip materializing key bytes entirely.
+func (s *Set) Hash() uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	h := uint64(14695981039346656037) // FNV-1a over words
+	for _, w := range s.words[:n] {
+		h ^= w
+		h *= 1099511628211
+	}
+	// Final avalanche so power-of-two table masks see the high entropy.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
 }
 
 // String renders the set as "{a, b, c}".

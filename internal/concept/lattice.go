@@ -3,8 +3,11 @@ package concept
 import (
 	"context"
 	"fmt"
-	"sort"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/obs"
@@ -32,13 +35,42 @@ type Lattice struct {
 	top      int
 	bottom   int
 
-	// index maps an intent's Key() to its concept ID; it backs byIntent so
-	// Meet, Join, and Find are hash lookups instead of linear scans.
-	index map[string]int
+	// idx maps intents to concept IDs by hashing bitset words directly; it
+	// backs byIntent so Meet, Join, and Find are hash lookups instead of
+	// linear scans, with no key-byte materialization.
+	idx intentIndex
 	// objConcept[o] is γo (ObjectConcept), attrConcept[a] is μa
 	// (AttributeConcept), both precomputed once per lattice.
 	objConcept  []int
 	attrConcept []int
+
+	// arena backs the extent/intent bitsets of a Build-constructed lattice.
+	// The reference pins the slabs for the lattice's lifetime; arena-backed
+	// sets must not outlive the lattice (see bitset.Arena and the cablevet
+	// poolarena check).
+	arena *bitset.Arena
+}
+
+// BuildOption configures a lattice build.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	workers int
+}
+
+// WithWorkers bounds the worker pool the build's parallel phases (cover
+// linking) may use. 0 — and omitting the option — means GOMAXPROCS; 1
+// forces the serial path.
+func WithWorkers(n int) BuildOption {
+	return func(c *buildConfig) { c.workers = n }
+}
+
+func applyOptions(opts []BuildOption) buildConfig {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // Build constructs the concept lattice of a context by incremental object
@@ -58,31 +90,49 @@ func Build(ctx *Context) *Lattice {
 
 // BuildCtx is Build with cancellation for callers serving remote requests:
 // the done state of cc is checked between object insertions and between
-// per-concept cover computations, so a cancelled build of a large lattice
-// returns cc.Err() promptly instead of running to completion.
-func BuildCtx(cc context.Context, ctx *Context) (*Lattice, error) {
+// strides of the cover-linking scan, so a cancelled build of a large
+// lattice returns cc.Err() promptly instead of running to completion.
+//
+// All extent and intent storage is carved from one per-build arena, so a
+// build performs O(1) heap allocations for set storage regardless of
+// concept count; the arena is owned by (and dies with) the returned
+// Lattice.
+func BuildCtx(cc context.Context, ctx *Context, opts ...BuildOption) (*Lattice, error) {
+	cfg := applyOptions(opts)
 	sp := obs.StartSpan("lattice.build")
 	defer sp.End()
-	l := &Lattice{ctx: ctx, index: map[string]int{}}
+	arena := bitset.NewArena()
+	l := &Lattice{ctx: ctx, arena: arena}
+	numObj, numAttr := ctx.NumObjects(), ctx.NumAttributes()
+	l.idx.initFor(256)
 
-	addConcept := func(extent, intent *bitset.Set) *Concept {
-		c := &Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
+	// Concept headers come from chunked slabs for the same reason the sets
+	// come from the arena: one allocation per 256 concepts, not per concept.
+	var chunk []Concept
+	addConcept := func(extent, intent *bitset.Set) {
+		if len(chunk) == cap(chunk) {
+			chunk = make([]Concept, 0, 256)
+		}
+		chunk = chunk[:len(chunk)+1]
+		c := &chunk[len(chunk)-1]
+		*c = Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
 		l.concepts = append(l.concepts, c)
-		l.index[intent.Key()] = c.ID
-		return c
+		l.idx.insert(l.concepts, c.ID)
 	}
 
 	// Seed with the bottom concept: intent = all attributes, extent = the
 	// objects (none yet) having all of them. Keeping the bottom in the
 	// lattice makes the concept set closed under intersection of intents.
-	addConcept(bitset.New(ctx.NumObjects()), bitset.Full(ctx.NumAttributes()))
+	// Extents get capacity for the full object universe so in-place Add
+	// never leaves the arena.
+	addConcept(arena.Set(numObj, numObj), arena.Set(numAttr, numAttr).FillFull(numAttr))
 
-	// Scratch buffers reused across the hot inner loop: the intersection is
-	// only materialized (cloned) when it is a novel intent.
+	// The scratch intersection lives on the heap (IntersectEqualsInto's dst
+	// must not alias its operands) and is only materialized into the arena
+	// when it is a novel intent.
 	scratch := &bitset.Set{}
-	var keyBuf []byte
 	done := cc.Done()
-	for o := 0; o < ctx.NumObjects(); o++ {
+	for o := 0; o < numObj; o++ {
 		select {
 		case <-done:
 			return nil, cc.Err()
@@ -93,48 +143,48 @@ func BuildCtx(cc context.Context, ctx *Context) (*Lattice, error) {
 		n := len(snapshot)
 		for i := 0; i < n; i++ {
 			c := snapshot[i]
-			if c.Intent.SubsetOf(row) {
+			// One fused word-parallel pass: scratch = Intent ∩ row, and the
+			// subset verdict tells modified concepts from candidate parents.
+			if bitset.IntersectEqualsInto(scratch, c.Intent, row) {
 				// Modified concept: the new object joins its extent.
 				c.Extent.Add(o)
 				continue
 			}
-			bitset.IntersectInto(scratch, c.Intent, row)
-			keyBuf = scratch.AppendKey(keyBuf[:0])
-			if _, exists := l.index[string(keyBuf)]; exists {
+			if l.idx.lookup(l.concepts, scratch) >= 0 {
 				continue
 			}
 			// The extent of the new concept is τ(inter) over the objects
 			// seen so far, which includes o because inter ⊆ row.
-			inter := scratch.Clone()
-			extent := tauUpTo(ctx, inter, o)
-			addConcept(extent, inter)
+			inter := arena.Clone(scratch)
+			addConcept(tauUpToArena(arena, ctx, inter, o), inter)
 		}
 	}
-	if err := l.finalizeCtx(cc); err != nil {
+	if err := l.finalizeCtx(cc, cfg.workers); err != nil {
 		return nil, err
 	}
 	obs.Observe("lattice.concepts", int64(len(l.concepts)))
 	return l, nil
 }
 
-// finalize computes the Hasse diagram and the query tables; the intent
-// index must already be populated.
+// finalize computes the Hasse diagram and the query tables serially; used
+// by builders (BuildNaive) that populate l.concepts directly.
 func (l *Lattice) finalize() {
-	if err := l.finalizeCtx(context.Background()); err != nil {
+	if err := l.finalizeCtx(context.Background(), 1); err != nil {
 		panic("concept: finalize: " + err.Error())
 	}
 }
 
-// finalizeCtx is finalize with cancellation checked between per-concept
-// cover computations.
-func (l *Lattice) finalizeCtx(cc context.Context) error {
-	if l.index == nil {
-		l.index = make(map[string]int, len(l.concepts))
+// finalizeCtx is finalize with cancellation and a worker bound for the
+// cover-linking scan. The intent index is built here if the constructing
+// algorithm did not maintain one incrementally.
+func (l *Lattice) finalizeCtx(cc context.Context, workers int) error {
+	if l.idx.n == 0 && len(l.concepts) > 0 {
+		l.idx.initFor(len(l.concepts))
 		for _, c := range l.concepts {
-			l.index[c.Intent.Key()] = c.ID
+			l.idx.insert(l.concepts, c.ID)
 		}
 	}
-	if err := l.linkCovers(cc); err != nil {
+	if err := l.linkCovers(cc, workers); err != nil {
 		return err
 	}
 	l.buildTables()
@@ -147,13 +197,11 @@ func (l *Lattice) finalizeCtx(cc context.Context) error {
 func (l *Lattice) buildTables() {
 	sp := obs.StartSpan("lattice.tables")
 	defer sp.End()
-	var keyBuf []byte
 	scratch := &bitset.Set{}
 	l.objConcept = make([]int, l.ctx.NumObjects())
 	for o := range l.objConcept {
-		keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
-		id, ok := l.index[string(keyBuf)]
-		if !ok {
+		id := l.idx.lookup(l.concepts, l.ctx.Attributes(o))
+		if id < 0 {
 			panic("concept: object row is not a closed intent")
 		}
 		l.objConcept[o] = id
@@ -161,24 +209,43 @@ func (l *Lattice) buildTables() {
 	l.attrConcept = make([]int, l.ctx.NumAttributes())
 	for a := range l.attrConcept {
 		l.ctx.SigmaInto(scratch, l.ctx.Objects(a))
-		keyBuf = scratch.AppendKey(keyBuf[:0])
-		id, ok := l.index[string(keyBuf)]
-		if !ok {
+		id := l.idx.lookup(l.concepts, scratch)
+		if id < 0 {
 			panic("concept: attribute closure is not a closed intent")
 		}
 		l.attrConcept[a] = id
 	}
 }
 
-// tauUpTo computes τ(y) restricted to objects 0..limit inclusive.
-func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
-	out := bitset.Full(limit + 1)
-	y.Range(func(a int) bool {
-		out.IntersectWith(ctx.Objects(a))
+// tauUpToArena computes τ(y) restricted to objects 0..limit inclusive, into
+// an arena-backed set with capacity for the full object universe (so the
+// Godin loop can later Add objects in place).
+func tauUpToArena(a *bitset.Arena, ctx *Context, y *bitset.Set, limit int) *bitset.Set {
+	out := a.Set(0, ctx.NumObjects())
+	out.FillFull(limit + 1)
+	y.Range(func(attr int) bool {
+		out.IntersectWith(ctx.Objects(attr))
 		return true
 	})
 	return out
 }
+
+// Cutoffs for the sparse extent projection linkCovers keeps for the long
+// tail of small concepts over wide object universes: only contexts whose
+// extents span at least sparseMinWords words build projections, and only
+// extents with at most sparseMaxElems elements get one. Both were chosen on
+// BenchmarkLatticeBig (dense subset tests win below ~512 objects; above,
+// iterating ≤48 elements beats sweeping 100+ words). Package variables so
+// property tests can force the sparse path on small contexts.
+var (
+	sparseMinWords = 8
+	sparseMaxElems = 48
+)
+
+// linkChunk is the stride of the parallel cover-linking scan: workers claim
+// chunks of this many concepts from an atomic counter, and cancellation is
+// checked between chunks.
+const linkChunk = 64
 
 // linkCovers computes the Hasse diagram: c is a child of d iff
 // extent(c) ⊂ extent(d) with no concept strictly between.
@@ -193,7 +260,18 @@ func tauUpTo(ctx *Context, y *bitset.Set, limit int) *bitset.Set {
 // already accepted from smaller layers. Worst case O(n·|O|) lookups plus a
 // few subset tests among candidates, versus the all-pairs-plus-dominated
 // scan (cubic in concept count) this replaces.
-func (l *Lattice) linkCovers(cc context.Context) error {
+//
+// Three refinements over the direct form: (1) only one representative per
+// distinct context row is scanned — duplicate rows yield identical closures
+// and identical extent membership, so at trace-corpus scale (many traces,
+// few distinct transition sets) the scan shrinks by orders of magnitude;
+// (2) accepted covers with small extents over wide universes are tested via
+// sparse element lists instead of dense word sweeps; (3) concepts are
+// partitioned across a worker pool — per-concept work touches only
+// read-only shared state, so workers claim chunks from an atomic counter
+// and write disjoint out-slots, making the result bit-identical to the
+// serial scan for any worker count.
+func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 	sp := obs.StartSpan("lattice.link_covers")
 	defer sp.End()
 	n := len(l.concepts)
@@ -203,10 +281,10 @@ func (l *Lattice) linkCovers(cc context.Context) error {
 		l.top, l.bottom = 0, 0
 		return nil
 	}
-	sizes := make([]int, n)
+	sizes := make([]int32, n)
 	l.top, l.bottom = 0, 0
 	for i, c := range l.concepts {
-		sizes[i] = c.Extent.Len()
+		sizes[i] = int32(c.Extent.Len())
 		if sizes[i] > sizes[l.top] {
 			l.top = i
 		}
@@ -215,72 +293,266 @@ func (l *Lattice) linkCovers(cc context.Context) error {
 		}
 	}
 	numObj := l.ctx.NumObjects()
-	scratch := &bitset.Set{}
-	var keyBuf []byte
-	var cand []int
-	seen := make([]int, n) // seen[id] == ci+1 marks id as a candidate of ci
-	done := cc.Done()
-	for ci := 0; ci < n; ci++ {
-		select {
-		case <-done:
-			return cc.Err()
-		default:
+
+	// One representative object per distinct context row.
+	reps := make([]int32, 0, numObj)
+	{
+		seen := make(map[string]struct{}, numObj)
+		var keyBuf []byte
+		for o := 0; o < numObj; o++ {
+			keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
+			if _, dup := seen[string(keyBuf)]; dup {
+				continue
+			}
+			seen[string(keyBuf)] = struct{}{}
+			reps = append(reps, int32(o))
+		}
+	}
+
+	// Sparse projections of small extents, carved from one slab.
+	var sparse [][]int32
+	if wordsFor(numObj) >= sparseMinWords {
+		sparse = make([][]int32, n)
+		total := 0
+		for i := range sizes {
+			if int(sizes[i]) <= sparseMaxElems {
+				total += int(sizes[i])
+			}
+		}
+		slab := make([]int32, 0, total)
+		for i, c := range l.concepts {
+			if int(sizes[i]) <= sparseMaxElems {
+				start := len(slab)
+				slab = c.Extent.AppendElems32(slab)
+				sparse[i] = slab[start:len(slab):len(slab)]
+			}
+		}
+	}
+
+	less := func(a, b int32) bool {
+		if sizes[a] != sizes[b] {
+			return sizes[a] < sizes[b]
+		}
+		return a < b
+	}
+
+	// out[ci] receives ci's covers; each worker writes only the slots of
+	// chunks it claimed, so the slice needs no synchronization beyond the
+	// pool's WaitGroup.
+	out := make([][]int32, n)
+	type lcWorker struct {
+		scratch bitset.Set
+		seen    []int32 // seen[id] == gen marks id as a candidate of the current concept
+		gen     int32
+		cand    []int32
+		block   []int32 // cover output; out slices point into retired blocks
+		layers  int64
+		cands   int64
+		busy    time.Duration
+	}
+	newWorker := func() *lcWorker {
+		return &lcWorker{
+			seen:  make([]int32, n),
+			cand:  make([]int32, 0, len(reps)),
+			block: make([]int32, 0, 4096),
+		}
+	}
+	process := func(w *lcWorker, ci int) {
+		if int(sizes[ci]) == numObj {
+			return // the top concept has no parents
 		}
 		c := l.concepts[ci]
-		if sizes[ci] == numObj {
-			continue // the top concept has no parents
+		w.gen++
+		if w.gen == 0 { // stamp wrapped: reset and restart generations
+			for i := range w.seen {
+				w.seen[i] = 0
+			}
+			w.gen = 1
 		}
 		// Collect the deduplicated candidate set {concept(Y ∩ row(o))}.
-		cand = cand[:0]
-		for o := 0; o < numObj; o++ {
+		cand := w.cand[:0]
+		for _, rep := range reps {
+			o := int(rep)
 			if c.Extent.Has(o) {
 				continue
 			}
-			bitset.IntersectInto(scratch, c.Intent, l.ctx.Attributes(o))
-			keyBuf = scratch.AppendKey(keyBuf[:0])
-			id, ok := l.index[string(keyBuf)]
-			if !ok {
+			bitset.IntersectInto(&w.scratch, c.Intent, l.ctx.Attributes(o))
+			id := l.idx.lookup(l.concepts, &w.scratch)
+			if id < 0 {
 				panic("concept: closure missing from intent index")
 			}
-			if seen[id] != ci+1 {
-				seen[id] = ci + 1
-				cand = append(cand, id)
+			if w.seen[id] != w.gen {
+				w.seen[id] = w.gen
+				cand = append(cand, int32(id))
 			}
 		}
 		// Size-layer order: ascending extent size, ties by ID for
-		// determinism. A candidate is a cover iff no cover accepted from an
-		// earlier (smaller) layer sits inside it.
-		sort.Slice(cand, func(i, j int) bool {
-			if sizes[cand[i]] != sizes[cand[j]] {
-				return sizes[cand[i]] < sizes[cand[j]]
+		// determinism. Insertion sort — candidate lists are short, and this
+		// avoids the sort.Slice closure the serial implementation paid.
+		for i := 1; i < len(cand); i++ {
+			for j := i; j > 0 && less(cand[j], cand[j-1]); j-- {
+				cand[j], cand[j-1] = cand[j-1], cand[j]
 			}
-			return cand[i] < cand[j]
-		})
-		covers := l.parents[ci][:0]
+		}
+		w.cand = cand
+		w.cands += int64(len(cand))
+		if len(cand) > 0 {
+			w.layers++
+			for i := 1; i < len(cand); i++ {
+				if sizes[cand[i]] != sizes[cand[i-1]] {
+					w.layers++
+				}
+			}
+		}
+		// A candidate is a cover iff no cover accepted from an earlier
+		// (smaller) layer sits inside it.
+		if cap(w.block)-len(w.block) < 256 {
+			w.block = make([]int32, 0, 4096) // retired blocks stay referenced by out
+		}
+		start := len(w.block)
 		for _, cj := range cand {
+			ce := l.concepts[cj].Extent
 			dominated := false
-			for _, k := range covers {
-				if l.concepts[k].Extent.SubsetOf(l.concepts[cj].Extent) {
+			for _, k := range w.block[start:] {
+				if sparse != nil && sparse[k] != nil {
+					if bitset.SparseSubsetOf(sparse[k], ce) {
+						dominated = true
+						break
+					}
+				} else if l.concepts[k].Extent.SubsetOf(ce) {
 					dominated = true
 					break
 				}
 			}
 			if !dominated {
-				covers = append(covers, cj)
+				w.block = append(w.block, cj)
 			}
 		}
-		l.parents[ci] = covers
+		out[ci] = w.block[start:len(w.block):len(w.block)]
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	done := cc.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	var totalLayers, totalCands int64
+	if workers <= 1 || n < 2*linkChunk {
+		w := newWorker()
+		for ci := 0; ci < n; ci++ {
+			if ci%linkChunk == 0 && cancelled() {
+				return cc.Err()
+			}
+			process(w, ci)
+		}
+		totalLayers, totalCands = w.layers, w.cands
+		obs.SetGauge("lattice.linkcovers.workers", 1)
+	} else {
+		numChunks := (n + linkChunk - 1) / linkChunk
+		if workers > numChunks {
+			workers = numChunks
+		}
+		ws := make([]*lcWorker, workers)
+		var next atomic.Int64
+		next.Store(-1)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := newWorker()
+				ws[wi] = w
+				for !cancelled() {
+					chunk := int(next.Add(1))
+					if chunk >= numChunks {
+						return
+					}
+					hi := (chunk + 1) * linkChunk
+					if hi > n {
+						hi = n
+					}
+					t0 := time.Now()
+					for ci := chunk * linkChunk; ci < hi; ci++ {
+						process(w, ci)
+					}
+					w.busy += time.Since(t0)
+				}
+			}(wi)
+		}
+		wg.Wait()
+		if cancelled() {
+			return cc.Err()
+		}
+		elapsed := time.Since(start)
+		for _, w := range ws {
+			totalLayers += w.layers
+			totalCands += w.cands
+		}
+		obs.SetGauge("lattice.linkcovers.workers", int64(workers))
+		if m := obs.Default(); m != nil && elapsed > 0 {
+			util := m.Histogram("lattice.linkcovers.worker_util_pct")
+			for _, w := range ws {
+				util.Observe(int64(100 * w.busy / elapsed))
+			}
+		}
+	}
+	obs.Count("lattice.linkcovers.layers", totalLayers)
+	obs.Count("lattice.linkcovers.candidates", totalCands)
+
+	// Deterministic merge: per-concept covers re-sorted ascending by ID into
+	// one parent slab; children recovered by a counting pass, filled in
+	// ascending ci order so each list comes out sorted.
+	totalEdges := 0
+	for _, cs := range out {
+		totalEdges += len(cs)
+	}
+	parentSlab := make([]int, totalEdges)
+	pos := 0
+	for ci, cs := range out {
+		p := parentSlab[pos : pos : pos+len(cs)]
+		for _, cj := range cs {
+			p = append(p, int(cj))
+		}
+		insertionSortInts(p)
+		l.parents[ci] = p
+		pos += len(cs)
+	}
+	childCount := make([]int, n)
+	for _, cs := range out {
+		for _, cj := range cs {
+			childCount[cj]++
+		}
+	}
+	childSlab := make([]int, totalEdges)
+	pos = 0
+	for i, cnt := range childCount {
+		l.children[i] = childSlab[pos : pos : pos+cnt]
+		pos += cnt
 	}
 	for ci := 0; ci < n; ci++ {
-		sort.Ints(l.parents[ci])
 		for _, p := range l.parents[ci] {
 			l.children[p] = append(l.children[p], ci)
 		}
 	}
-	for i := range l.children {
-		sort.Ints(l.children[i])
-	}
 	return nil
+}
+
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
 }
 
 // Context returns the context the lattice was built from.
@@ -363,9 +635,17 @@ func (l *Lattice) validID(id int) bool { return id >= 0 && id < len(l.concepts) 
 // the intent is not closed here — the symptom of an object set from a
 // foreign context or of a lattice that no longer matches its context.
 func (l *Lattice) byIntent(intent *bitset.Set) (id int, ok bool) {
-	id, ok = l.index[intent.Key()]
-	return id, ok
+	id = l.idx.lookup(l.concepts, intent)
+	if id < 0 {
+		return 0, false
+	}
+	return id, true
 }
+
+// findScratch pools the σ(X) scratch sets Find uses, making lookups
+// allocation-free under concurrent query load (the lattice server hits
+// Find from many request goroutines).
+var findScratch = sync.Pool{New: func() any { return new(bitset.Set) }}
 
 // Find returns the most specific concept whose extent contains all the
 // given objects: the concept (τ(σ(X)), σ(X)). ok is false — instead of the
@@ -386,7 +666,10 @@ func (l *Lattice) Find(objects *bitset.Set) (id int, ok bool) {
 	if !inRange {
 		return 0, false
 	}
-	return l.byIntent(l.ctx.Sigma(objects))
+	sc := findScratch.Get().(*bitset.Set)
+	id, ok = l.byIntent(l.ctx.SigmaInto(sc, objects))
+	findScratch.Put(sc)
+	return id, ok
 }
 
 // AttributeConcept returns the ID of the maximal concept whose intent

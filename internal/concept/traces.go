@@ -101,5 +101,5 @@ func BuildFromTracesCtx(ctx context.Context, traces []trace.Trace, ref *fa.FA, w
 	if err != nil {
 		return nil, err
 	}
-	return BuildCtx(ctx, fc)
+	return BuildCtx(ctx, fc, WithWorkers(workers))
 }

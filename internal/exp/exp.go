@@ -165,7 +165,7 @@ func Prepare(spec specs.Spec, cfg Config) (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, err := concept.BuildFromTraces(set.Representatives(), res.FA)
+		l, err := concept.BuildFromTracesCtx(cfg.ctx(), set.Representatives(), res.FA, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +182,7 @@ func Prepare(spec specs.Spec, cfg Config) (*Experiment, error) {
 	best := time.Duration(0)
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		if _, err := concept.BuildFromTraces(set.Representatives(), chosen); err != nil {
+		if _, err := concept.BuildFromTracesCtx(cfg.ctx(), set.Representatives(), chosen, cfg.Workers); err != nil {
 			return nil, err
 		}
 		if d := time.Since(start); i == 0 || d < best {

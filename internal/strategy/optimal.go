@@ -45,6 +45,7 @@ func OptimalPlan(l *concept.Lattice, ref []cable.Label, maxStates int) (Plan, Co
 	}
 	visited := map[string]bool{start.Key(): true}
 	frontier := []node{{labeled: start}}
+	var keyBuf []byte // reused AppendKey scratch; visited lookups stay alloc-free
 	for len(frontier) > 0 {
 		next := frontier[:0:0]
 		for _, cur := range frontier {
@@ -63,11 +64,11 @@ func OptimalPlan(l *concept.Lattice, ref []cable.Label, maxStates int) (Plan, Co
 					k := len(plan.Ops)
 					return plan, Cost{Inspections: k, Labelings: k}, true
 				}
-				key := succ.Key()
-				if visited[key] {
+				keyBuf = succ.AppendKey(keyBuf[:0])
+				if visited[string(keyBuf)] {
 					continue
 				}
-				visited[key] = true
+				visited[string(keyBuf)] = true
 				if len(visited) > maxStates {
 					return Plan{}, Cost{}, false
 				}

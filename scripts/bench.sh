@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1s}"
 TMP="$(mktemp)"
 TMP_FA="$(mktemp)"
-trap 'rm -f "$TMP" "$TMP_FA"' EXIT
+TMP_BIG="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG"' EXIT
 
 # to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
 # allocs_per_op}} JSON object.
@@ -43,11 +44,20 @@ go test -run '^$' -bench 'BenchmarkTable2_Lattice|BenchmarkLatticeOps' \
     -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkBuild$|BenchmarkLinkCovers|BenchmarkLatticeQueries' \
     -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkBitset' \
+go test -run '^$' -bench 'BenchmarkBitset|BenchmarkArena' \
     -benchmem -benchtime "$BENCHTIME" ./internal/bitset | tee -a "$TMP"
 
 to_json < "$TMP" > BENCH_lattice.json
 echo "wrote BENCH_lattice.json"
+
+# The big-corpus lane: lattice construction at production scale (>10⁴
+# synthetic trace classes from internal/xtrace), proving the hot-path wins
+# hold two orders of magnitude past the Table 2 fixtures.
+go test -run '^$' -bench 'BenchmarkLatticeBig' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP_BIG"
+
+to_json < "$TMP_BIG" > BENCH_lattice_big.json
+echo "wrote BENCH_lattice_big.json"
 
 # The compiled FA simulator (legacy loop vs compiled plan vs memoized
 # classes) and the trace-context construction that rides on it.
@@ -65,6 +75,9 @@ echo "wrote BENCH_fa.json"
     echo '{'
     echo '  "lattice":'
     sed 's/^/    /' BENCH_lattice.json
+    echo '  ,'
+    echo '  "lattice_big":'
+    sed 's/^/    /' BENCH_lattice_big.json
     echo '  ,'
     echo '  "fa":'
     sed 's/^/    /' BENCH_fa.json
