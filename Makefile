@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke
+.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke
 
-ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke
+ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +44,7 @@ race:
 # benchmarks: catches benchmark-code rot without paying for stable
 # measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkLatticeBig|BenchmarkBitset|BenchmarkArena' \
+	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkLatticeBig|BenchmarkBitset|BenchmarkArena|BenchmarkIncremental' \
 	    -benchtime 1x ./internal/concept ./internal/bitset
 	$(GO) test -run '^$$' -bench 'BenchmarkExecuted|BenchmarkExecutedAll|BenchmarkAccepts|BenchmarkTraceContext' \
 	    -benchtime 1x ./internal/fa ./internal/concept
@@ -68,6 +68,14 @@ fuzz-smoke:
 # surface of the repo).
 cabled-smoke:
 	$(GO) test -race ./internal/server/... ./cmd/cabled
+
+# Crash-safety acceptance: build the real binary, start it with
+# -snapshot-dir, create and label a session over TCP, SIGKILL the process
+# (no drain), restart on the same directory, and assert the session comes
+# back with every label intact.
+snapshot-smoke:
+	$(GO) test -run 'TestSnapshotKillRestart|TestSessionPersistRoundTrip' -count=1 \
+	    ./cmd/cabled ./internal/server
 
 # Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op)
 # and BENCH_obs_snapshot.txt (phase-attributed metrics snapshot).

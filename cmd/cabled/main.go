@@ -5,12 +5,19 @@
 // Usage:
 //
 //	cabled [-addr :8372] [-request-timeout 30s] [-idle-timeout 30m]
-//	       [-cache-size 64] [-workers 0] [-metrics]
+//	       [-cache-size 64] [-workers 0] [-snapshot-dir DIR] [-metrics]
 //
 // The API is versioned under /v1; see API.md at the repository root for
 // the endpoint reference and a curl walkthrough. On SIGINT/SIGTERM the
 // server stops accepting connections, cancels in-flight lattice builds,
 // and exits once drained (or after -shutdown-timeout).
+//
+// With -snapshot-dir, sessions are persisted across restarts — and
+// crashes: every session writes a snapshot at creation, labeling actions
+// append to a per-session write-ahead log, and a graceful drain rewrites
+// all snapshots. On boot the directory is replayed, so clients resume
+// with the session IDs they already hold. See FORMATS.md for the file
+// layouts.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on SIGTERM")
 		cacheSize       = flag.Int("cache-size", 64, "lattice LRU capacity (0 disables the cache)")
 		workers         = flag.Int("workers", 0, "default lattice-build parallelism (0 = GOMAXPROCS)")
+		snapshotDir     = flag.String("snapshot-dir", "", "persist sessions here and restore them on boot (empty disables)")
 		metrics         = flag.Bool("metrics", false, "collect metrics; snapshot on exit and live at /v1/metrics")
 		cpuprofile      = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile      = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -53,6 +61,7 @@ func main() {
 		IdleTimeout:    *idleTimeout,
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
+		SnapshotDir:    *snapshotDir,
 	}, *shutdownTimeout); err != nil {
 		stop()
 		log.Fatal(err)
@@ -67,6 +76,15 @@ func run(addr string, cfg server.Config, shutdownTimeout time.Duration) error {
 	defer cancelRoot()
 
 	svc := server.New(cfg)
+	if cfg.SnapshotDir != "" {
+		n, err := svc.LoadSnapshots(rootCtx)
+		if err != nil {
+			return fmt.Errorf("restoring sessions: %w", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "cabled: restored %d session(s) from %s\n", n, cfg.SnapshotDir)
+		}
+	}
 	go svc.Janitor(rootCtx, 0)
 
 	httpSrv := &http.Server{
@@ -101,6 +119,15 @@ func run(addr string, cfg server.Config, shutdownTimeout time.Duration) error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Handlers have drained; snapshot every live session so the next boot
+	// restores them without replaying the WALs.
+	if cfg.SnapshotDir != "" {
+		n, err := svc.SaveSnapshots()
+		if err != nil {
+			return fmt.Errorf("saving sessions: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cabled: saved %d session(s) to %s\n", n, cfg.SnapshotDir)
 	}
 	fmt.Fprintln(os.Stderr, "cabled: stopped")
 	return nil

@@ -130,6 +130,151 @@ func TestCabledSmoke(t *testing.T) {
 	}
 }
 
+// cabledProc is one running cabled process for the kill/restart test.
+type cabledProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startCabled launches the built binary with a snapshot dir and waits for
+// its listen announcement.
+func startCabled(t *testing.T, bin, snapDir string) *cabledProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-snapshot-dir", snapDir,
+		"-shutdown-timeout", "5s", "-request-timeout", "1m")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := scanio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "listening on") {
+			if i := strings.LastIndex(line, " "); i >= 0 {
+				addr = line[i+1:]
+			}
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		t.Fatalf("no listen address announced: %v", sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return &cabledProc{cmd: cmd, addr: addr}
+}
+
+func (p *cabledProc) post(t *testing.T, path string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post("http://"+p.addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (p *cabledProc) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + p.addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSnapshotKillRestart is the crash-safety acceptance check at the
+// process level: create and label sessions, SIGKILL the server (no
+// drain, no cleanup), restart it on the same snapshot directory, and
+// require every session back — same IDs, every label intact.
+func TestSnapshotKillRestart(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL delivery is POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "cabled")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	snapDir := t.TempDir()
+
+	p1 := startCabled(t, bin, snapDir)
+	defer p1.cmd.Process.Kill()
+
+	var created apiv1.CreateSessionResponse
+	if code := p1.post(t, "/v1/sessions", fixtureJSON(t, 6), &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	// Label everything good via the top concept, then flip class 0 bad —
+	// two WAL-logged actions on top of the creation snapshot.
+	body, _ := json.Marshal(apiv1.LabelRequest{Concept: &created.Top, Selector: &apiv1.Selector{Mode: "all"}, Label: "good"})
+	if code := p1.post(t, "/v1/sessions/"+created.SessionID+"/label", body, nil); code != http.StatusOK {
+		t.Fatalf("label: %d", code)
+	}
+	zero := 0
+	body, _ = json.Marshal(apiv1.LabelRequest{Trace: &zero, Label: "bad"})
+	if code := p1.post(t, "/v1/sessions/"+created.SessionID+"/label", body, nil); code != http.StatusOK {
+		t.Fatalf("label: %d", code)
+	}
+
+	// SIGKILL: no shutdown handler runs, the WAL tail is whatever made it
+	// to the filesystem — which is everything, since appends complete
+	// before the response is written.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	p2 := startCabled(t, bin, snapDir)
+	defer p2.cmd.Process.Kill()
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+
+	var info apiv1.SessionInfo
+	if code := p2.get(t, "/v1/sessions/"+created.SessionID, &info); code != http.StatusOK {
+		t.Fatalf("restored session not found after SIGKILL restart: %d", code)
+	}
+	if info.NumTraces != created.NumTraces || info.NumConcepts != created.NumConcepts {
+		t.Fatalf("restored shape %+v, want %d/%d", info, created.NumTraces, created.NumConcepts)
+	}
+	if !info.Done {
+		t.Fatalf("restored session lost labels: %+v", info)
+	}
+	var traces apiv1.TraceList
+	if code := p2.get(t, "/v1/sessions/"+created.SessionID+"/traces", &traces); code != http.StatusOK {
+		t.Fatalf("traces: %d", code)
+	}
+	for i, tc := range traces.Traces {
+		want := "good"
+		if i == 0 {
+			want = "bad"
+		}
+		if tc.Label != want {
+			t.Errorf("class %d label %q after restart, want %q", i, tc.Label, want)
+		}
+	}
+}
+
 // fixtureJSON serializes the all-3-subsets-of-n trace set and a matching
 // permissive FA as a create-session payload.
 func fixtureJSON(t *testing.T, n int) []byte {

@@ -43,6 +43,19 @@ func valueCopiesOK(a *bitset.Arena) int {
 	return s.Len()
 }
 
+// incrementalOK is the incremental-maintenance shape: a later mutation
+// carves new sets — and regrows existing ones via EnsureBits — from the
+// arena the structure already owns, so the new allocations share the
+// owner's lifetime. Nothing escapes.
+func (l *lattice) incrementalOK(numObj int) {
+	for _, s := range l.extents {
+		l.arena.EnsureBits(s, numObj)
+	}
+	fresh := l.arena.Set(numObj, numObj)
+	fresh.Add(numObj - 1)
+	l.extents = append(l.extents, fresh)
+}
+
 // returnEscape returns an arena-backed set from a function whose caller
 // never sees the arena.
 func returnEscape() *bitset.Set {

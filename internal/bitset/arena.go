@@ -85,6 +85,30 @@ func (a *Arena) Clone(src *Set) *Set {
 	return s
 }
 
+// EnsureBits grows s so its words cover the universe [0, capBits) without
+// leaving the arena. Growth extends in place when the set's carve has
+// capacity (zeroing the exposed words, which may hold stale data from an
+// earlier truncation); otherwise it carves a fresh region and copies — the
+// old words stay pinned in their slab, the accepted cost of incremental
+// updates on arena-backed lattices.
+func (a *Arena) EnsureBits(s *Set, capBits int) {
+	cw := (capBits + wordBits - 1) / wordBits
+	if cw <= len(s.words) {
+		return
+	}
+	if cw <= cap(s.words) {
+		n := len(s.words)
+		s.words = s.words[:cw]
+		for i := n; i < cw; i++ {
+			s.words[i] = 0
+		}
+		return
+	}
+	grown := a.allocWords(cw)
+	copy(grown, s.words)
+	s.words = grown
+}
+
 // header carves one Set header out of the header slab.
 func (a *Arena) header() *Set {
 	if len(a.sets) == cap(a.sets) {

@@ -412,6 +412,54 @@ func SparseSubsetOf(elems []int32, t *Set) bool {
 	return true
 }
 
+// Words returns the set's backing words with trailing zero words trimmed.
+// The slice aliases the set's storage and must be treated as read-only; it
+// is the raw view snapshot codecs serialize. Structurally equal sets return
+// equal word slices.
+func (s *Set) Words() []uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	return s.words[:n]
+}
+
+// LoadWords replaces s's contents with the given raw words (element i*64+b
+// present iff bit b of ws[i] is set), reusing s's storage when it is large
+// enough and zeroing any tail beyond len(ws). It is the inverse of Words
+// for snapshot readers that decode into preallocated (often arena-backed)
+// sets.
+func (s *Set) LoadWords(ws []uint64) {
+	s.ensure(len(ws) - 1)
+	copy(s.words, ws)
+	for i := len(ws); i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	s.pop = 0
+}
+
+// RemoveShift deletes i and renumbers every element greater than i down by
+// one, so the set over universe {0..n-1} becomes the corresponding set over
+// {0..n-2}. It is the extent/column update for removing one object from a
+// formal context. Negative or out-of-range i is a no-op.
+func (s *Set) RemoveShift(i int) {
+	if i < 0 {
+		return
+	}
+	w := i / wordBits
+	if w >= len(s.words) {
+		return
+	}
+	keep := uint64(1)<<uint(i%wordBits) - 1
+	cur := s.words[w]
+	s.words[w] = (cur & keep) | ((cur >> 1) &^ keep)
+	for k := w + 1; k < len(s.words); k++ {
+		s.words[k-1] |= s.words[k] << (wordBits - 1)
+		s.words[k] >>= 1
+	}
+	s.pop = 0
+}
+
 // Range calls f on each element in increasing order; if f returns false the
 // iteration stops early.
 func (s *Set) Range(f func(i int) bool) {

@@ -74,8 +74,10 @@ func WithWorkers(n int) Option {
 // The lattice must have been built from exactly this trace set's class
 // representatives (same classes, same order) and the same reference FA;
 // NewSession verifies the object count and rejects a mismatched lattice.
-// Lattices are immutable after construction, so one lattice may safely
-// back any number of concurrent sessions.
+// A lattice shared this way must be treated as copy-on-write: before the
+// first mutating call (Session.AddTraceCtx), the owner detaches its private
+// copy with Session.DetachLattice, so the cache keeps serving the pristine
+// lattice to later sessions of the same corpus.
 func WithLattice(l *concept.Lattice) Option {
 	return func(c *config) { c.lattice = l }
 }

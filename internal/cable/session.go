@@ -13,6 +13,7 @@
 package cable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -314,6 +315,41 @@ func (s *Session) LabelTraces(id int, sel Selector, label Label) (int, error) {
 		}
 	}
 	return changed, nil
+}
+
+// AddTraceCtx appends a trace to the session without rebuilding it. A trace
+// identical to an existing class only bumps that class's multiplicity; a
+// novel trace becomes a new context object, the lattice is maintained
+// incrementally (concept.AddTraceCtx), and the new class starts Unlabeled.
+// It returns the trace's class index and whether the class is new.
+//
+// The session's lattice is mutated in place, so a session built over a
+// shared lattice (WithLattice) must call DetachLattice first. On error —
+// the reference FA rejects the trace, or cc is done — the session is
+// unchanged.
+func (s *Session) AddTraceCtx(cc context.Context, t trace.Trace) (class int, isNew bool, err error) {
+	if i := s.set.ClassOf(t); i >= 0 {
+		class, _ = s.set.Add(t)
+		return class, false, nil
+	}
+	if err := s.lattice.AddTraceCtx(cc, t, s.ref); err != nil {
+		return 0, false, err
+	}
+	class, _ = s.set.Add(t)
+	s.traces = append(s.traces, s.set.Class(class).Rep)
+	s.labels = append(s.labels, Unlabeled)
+	s.metrics.Gauge("cable.session.trace_classes").Set(int64(len(s.traces)))
+	s.metrics.Gauge("cable.session.concepts").Set(int64(s.lattice.Len()))
+	return class, true, nil
+}
+
+// DetachLattice replaces the session's lattice with a private deep copy.
+// Call it before the first AddTraceCtx on a session whose lattice is shared
+// (supplied via WithLattice from a cache); afterwards mutations touch only
+// this session. Detaching an already-private lattice is harmless but wastes
+// a copy, so callers track sharing themselves.
+func (s *Session) DetachLattice() {
+	s.lattice = s.lattice.Clone()
 }
 
 // TracesWith collects all traces carrying the label into a set, with the

@@ -87,6 +87,46 @@ func (c *Context) Attributes(o int) *bitset.Set { return c.rows[o] }
 // mutate.
 func (c *Context) Objects(a int) *bitset.Set { return c.cols[a] }
 
+// addObject appends one object with the given attribute row, extending the
+// relation in place. The row is copied; the caller keeps ownership of its
+// set. Attributes must already be validated in range.
+func (c *Context) addObject(name string, row *bitset.Set) {
+	o := len(c.rows)
+	c.objNames = append(c.objNames, name)
+	c.rows = append(c.rows, row.Clone())
+	row.Range(func(a int) bool {
+		c.cols[a].Add(o)
+		return true
+	})
+}
+
+// removeObject deletes object o, renumbering every later object down by
+// one in both the row table and the attribute columns.
+func (c *Context) removeObject(o int) {
+	c.objNames = append(c.objNames[:o], c.objNames[o+1:]...)
+	c.rows = append(c.rows[:o], c.rows[o+1:]...)
+	for _, col := range c.cols {
+		col.RemoveShift(o)
+	}
+}
+
+// clone returns an independent deep copy of the context.
+func (c *Context) clone() *Context {
+	out := &Context{
+		objNames:  append([]string(nil), c.objNames...),
+		attrNames: append([]string(nil), c.attrNames...),
+		rows:      make([]*bitset.Set, len(c.rows)),
+		cols:      make([]*bitset.Set, len(c.cols)),
+	}
+	for i, r := range c.rows {
+		out.rows[i] = r.Clone()
+	}
+	for j, col := range c.cols {
+		out.cols[j] = col.Clone()
+	}
+	return out
+}
+
 // Sigma computes σ(X): the attributes common to every object in X. For the
 // empty X it returns all attributes (the convention that makes concepts a
 // complete lattice).

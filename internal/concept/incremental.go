@@ -1,0 +1,408 @@
+package concept
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/fa"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// This file implements incremental lattice maintenance: adding or removing
+// one object of a live lattice without rebuilding it, with results pinned
+// byte-identical to a full BuildCtx rebuild over the updated context.
+//
+// Adding is the easy direction, and it is the one the paper's own choice of
+// Godin et al.'s Algorithm 1 buys us: BuildCtx inserts objects one at a
+// time, so adding object n to a lattice over objects 0..n-1 replays exactly
+// the loop iteration the full rebuild would run next — the concept set,
+// concept IDs, and extents come out identical by construction. Only the
+// cover edges need repair, and the affected region is provably small: when
+// the new row spawns no new concepts the Hasse diagram is unchanged, and
+// when it does, parent lists change only for the new concepts and for old
+// concepts lying strictly below one of them (a broken or inserted cover
+// edge at c requires a new concept strictly above c).
+//
+// Removal is not order-stable in general — deleting an early object can
+// flip the discovery order of later concepts and hence their IDs — so only
+// the duplicate-row case (the common one at trace scale, where many trace
+// classes share an executed-transition set) is updated in place; all other
+// removals fall back to an in-place replay of the build over the spliced
+// context, which is trivially byte-identical.
+//
+// Incremental mutation is not safe concurrently with queries; callers
+// (cable sessions, the server) serialize access per lattice.
+
+// AddTraceCtx appends one trace as a new object of a lattice built over a
+// trace context (BuildFromTraces): the trace is simulated against the
+// reference FA and its executed-transition row extends the context and the
+// lattice in place. The reference FA must be the one the context was built
+// from (same transition set), and it must accept the trace.
+func (l *Lattice) AddTraceCtx(cc context.Context, t trace.Trace, ref *fa.FA) error {
+	if ref.NumTransitions() != l.ctx.NumAttributes() {
+		return fmt.Errorf("concept: reference FA %q has %d transitions, lattice context has %d attributes",
+			ref.Name(), ref.NumTransitions(), l.ctx.NumAttributes())
+	}
+	executed, ok := ref.Executed(t)
+	if !ok {
+		name := t.ID
+		if name == "" {
+			name = fmt.Sprintf("t%d", l.ctx.NumObjects())
+		}
+		return fmt.Errorf("concept: reference FA %q rejects trace %q (%s)", ref.Name(), name, t.Key())
+	}
+	name := t.ID
+	if name == "" {
+		name = fmt.Sprintf("t%d", l.ctx.NumObjects())
+	}
+	return l.AddObjectCtx(cc, name, executed)
+}
+
+// RemoveTraceCtx removes the trace-class object with the given index,
+// renumbering later objects down by one. It is RemoveObjectCtx under the
+// trace-corpus vocabulary.
+func (l *Lattice) RemoveTraceCtx(cc context.Context, o int) error {
+	return l.RemoveObjectCtx(cc, o)
+}
+
+// AddObjectCtx appends one object with the given attribute row, updating
+// the context, the concept set, the cover edges, and the query tables in
+// place. The result is byte-identical to a full rebuild over the extended
+// context. One add is atomic: cancellation is honored before any mutation,
+// never in the middle of one.
+func (l *Lattice) AddObjectCtx(cc context.Context, name string, row *bitset.Set) error {
+	if err := cc.Err(); err != nil {
+		return err
+	}
+	if len(l.concepts) == 0 {
+		return fmt.Errorf("concept: cannot add to an empty (unbuilt) lattice")
+	}
+	numAttr := l.ctx.NumAttributes()
+	bad := -1
+	row.Range(func(a int) bool {
+		if a >= numAttr {
+			bad = a
+			return false
+		}
+		return true
+	})
+	if bad >= 0 {
+		return fmt.Errorf("concept: attribute %d out of range (%d attributes)", bad, numAttr)
+	}
+	sp := obs.StartSpan("lattice.incr.add")
+	defer sp.End()
+	if l.arena == nil {
+		// Naive-built lattices have no arena; chain one on for growth.
+		l.arena = bitset.NewArena()
+	}
+	l.repsEnsure()
+
+	o := l.ctx.NumObjects()
+	l.ctx.addObject(name, row)
+	row = l.ctx.Attributes(o) // the context's own copy
+	numObj := o + 1
+
+	// Godin step: replay exactly the loop iteration BuildCtx would run for
+	// object o. The snapshot is the pre-add concept slice; the fused kernel
+	// splits modified concepts (intent ⊆ row: extent gains o) from novel
+	// intersections, which become new concepts with the next IDs.
+	scratch := &bitset.Set{}
+	snapshot := l.concepts
+	firstNew := len(snapshot)
+	//cablevet:ignore ctxpropagate one add is atomic: cc was checked before mutation began, and aborting mid-loop would tear the lattice
+	for i := 0; i < firstNew; i++ {
+		c := snapshot[i]
+		if bitset.IntersectEqualsInto(scratch, c.Intent, row) {
+			l.arena.EnsureBits(c.Extent, numObj)
+			c.Extent.Add(o)
+			continue
+		}
+		if l.idx.lookup(l.concepts, scratch) >= 0 {
+			continue
+		}
+		inter := l.arena.Clone(scratch)
+		nc := &Concept{ID: len(l.concepts), Extent: tauUpToArena(l.arena, l.ctx, inter, o), Intent: inter}
+		l.concepts = append(l.concepts, nc)
+		l.idx.insert(l.concepts, nc.ID)
+	}
+
+	// Maintain the row-representative dedup: the new object joins reps iff
+	// its row is novel — exactly the first-occurrence set a rebuild's
+	// linkCovers would compute. The new object must be in reps before cover
+	// repair: candidate generation is complete only over all distinct rows.
+	key := string(row.AppendKey(nil))
+	if _, dup := l.repRows[key]; !dup {
+		l.repRows[key] = struct{}{}
+		l.reps = append(l.reps, int32(o))
+	}
+
+	l.repairCoversAfterAdd(firstNew)
+	l.rescanTopBottom()
+	l.buildTables()
+	obs.Count("lattice.incr.adds", 1)
+	return nil
+}
+
+// repairCoversAfterAdd fixes the Hasse diagram after the Godin step
+// appended concepts firstNew.. (if any). When no concepts were born the
+// diagram is unchanged: extent inclusion among old concepts is preserved by
+// the add (if intent(d) ⊆ intent(c) and c gains o then intent(d) ⊆ row, so
+// d gains o too), and a changed cover at c would require a concept strictly
+// between c and an old neighbour — a new concept. By the same argument,
+// when concepts were born, parent lists change only for the new concepts
+// and for old concepts strictly below one of them; everything else keeps
+// its list, and children lists are patched from the per-concept diffs.
+func (l *Lattice) repairCoversAfterAdd(firstNew int) {
+	n := len(l.concepts)
+	if n == firstNew {
+		return
+	}
+	// Extend the edge tables; new concepts' children fill in from diffs.
+	for ci := firstNew; ci < n; ci++ {
+		l.parents = append(l.parents, nil)
+		l.children = append(l.children, []int{})
+	}
+	// Affected set: new concepts plus old concepts strictly below one.
+	// c < n in the lattice order iff intent(n) ⊂ intent(c); intents are
+	// unique per concept and new intents are novel, so SubsetOf is strict.
+	affected := make([]bool, firstNew)
+	recompute := make([]int, 0, n-firstNew)
+	for ci := firstNew; ci < n; ci++ {
+		nc := l.concepts[ci]
+		for cj := 0; cj < firstNew; cj++ {
+			if !affected[cj] && nc.Intent.SubsetOf(l.concepts[cj].Intent) {
+				affected[cj] = true
+			}
+		}
+		recompute = append(recompute, ci)
+	}
+	for cj := range affected {
+		if affected[cj] {
+			recompute = append(recompute, cj)
+		}
+	}
+	seen := make([]int32, n)
+	scratch := &bitset.Set{}
+	var gen int32
+	for _, ci := range recompute {
+		gen++
+		np := l.coverParents(ci, scratch, seen, gen)
+		old := l.parents[ci] // nil for new concepts
+		l.parents[ci] = np
+		// Patch children from the sorted old/new diff.
+		i, j := 0, 0
+		for i < len(old) || j < len(np) {
+			switch {
+			case j >= len(np) || (i < len(old) && old[i] < np[j]):
+				l.children[old[i]] = removeSortedInt(l.children[old[i]], ci)
+				i++
+			case i >= len(old) || np[j] < old[i]:
+				l.children[np[j]] = insertSortedInt(l.children[np[j]], ci)
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+	}
+}
+
+// coverParents recomputes the upper covers of concept ci from scratch,
+// mirroring linkCovers' per-concept scan exactly: candidates are the
+// closures σ(extent ∪ {o}) over one representative o per distinct row,
+// deduplicated, ordered by (extent size, ID), and filtered so a candidate
+// survives iff no earlier-accepted cover sits inside it — which leaves
+// precisely the minimal candidates, independent of collection order. The
+// returned list is re-sorted ascending by ID, matching the rebuild's merge.
+func (l *Lattice) coverParents(ci int, scratch *bitset.Set, seen []int32, gen int32) []int {
+	c := l.concepts[ci]
+	if c.Extent.Len() == l.ctx.NumObjects() {
+		return []int{} // the top concept has no parents
+	}
+	var cand []int32
+	for _, rep := range l.reps {
+		ro := int(rep)
+		if c.Extent.Has(ro) {
+			continue
+		}
+		bitset.IntersectInto(scratch, c.Intent, l.ctx.Attributes(ro))
+		id := l.idx.lookup(l.concepts, scratch)
+		if id < 0 {
+			panic("concept: closure missing from intent index")
+		}
+		if seen[id] != gen {
+			seen[id] = gen
+			cand = append(cand, int32(id))
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := cand[i], cand[j]
+		sa, sb := l.concepts[a].Extent.Len(), l.concepts[b].Extent.Len()
+		if sa != sb {
+			return sa < sb
+		}
+		return a < b
+	})
+	acc := cand[:0]
+	for _, cj := range cand {
+		ce := l.concepts[cj].Extent
+		dominated := false
+		for _, k := range acc {
+			if l.concepts[k].Extent.SubsetOf(ce) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			acc = append(acc, cj)
+		}
+	}
+	out := make([]int, len(acc))
+	for i, cj := range acc {
+		out[i] = int(cj)
+	}
+	insertionSortInts(out)
+	return out
+}
+
+// rescanTopBottom recomputes top and bottom the way linkCovers does:
+// first-win argmax/argmin over extent sizes in ID order.
+func (l *Lattice) rescanTopBottom() {
+	l.top, l.bottom = 0, 0
+	if len(l.concepts) == 0 {
+		return
+	}
+	topSize, botSize := l.concepts[0].Extent.Len(), l.concepts[0].Extent.Len()
+	for i, c := range l.concepts {
+		sz := c.Extent.Len()
+		if sz > topSize {
+			l.top, topSize = i, sz
+		}
+		if sz < botSize {
+			l.bottom, botSize = i, sz
+		}
+	}
+}
+
+// RemoveObjectCtx deletes object o from the context and the lattice,
+// renumbering later objects down by one. When o duplicates an earlier
+// object's row the lattice is updated in place — no concept was born at o,
+// so extents just shift and the diagram is untouched; otherwise the build
+// is replayed over the spliced context (removal is not order-stable in
+// general) and the result adopted under the same Lattice pointer. Either
+// way the outcome is byte-identical to a full rebuild. On error (including
+// cancellation mid-replay) the lattice is unchanged.
+func (l *Lattice) RemoveObjectCtx(cc context.Context, o int) error {
+	if err := cc.Err(); err != nil {
+		return err
+	}
+	if o < 0 || o >= l.ctx.NumObjects() {
+		return fmt.Errorf("concept: object %d out of range (%d objects)", o, l.ctx.NumObjects())
+	}
+	sp := obs.StartSpan("lattice.incr.remove")
+	defer sp.End()
+	l.repsEnsure()
+	if !l.isRep(o) {
+		// Duplicate-row fast path: an earlier object o' < o has the same
+		// row, so no concept was discovered at o (the concept set before o
+		// was already closed under intersection with this row) and the
+		// replayed build visits the same intents in the same order. Extents
+		// lose o and renumber; the cover edges, IDs, and top/bottom are
+		// unchanged.
+		l.ctx.removeObject(o)
+		//cablevet:ignore ctxpropagate one remove is atomic: cc was checked before mutation began, and aborting mid-loop would tear the lattice
+		for _, c := range l.concepts {
+			c.Extent.RemoveShift(o)
+		}
+		//cablevet:ignore ctxpropagate same atomic-remove argument as the extent loop above
+		for i, r := range l.reps {
+			if int(r) > o {
+				l.reps[i] = r - 1
+			}
+		}
+		l.rescanTopBottom()
+		l.buildTables()
+		obs.Count("lattice.incr.removes", 1)
+		return nil
+	}
+	// General path: replay the build over a spliced copy of the context and
+	// adopt the result in place, so callers holding the *Lattice see the
+	// update. The copy keeps the lattice intact if the replay is cancelled.
+	nctx := l.ctx.clone()
+	nctx.removeObject(o)
+	nl, err := BuildCtx(cc, nctx, WithWorkers(l.workers))
+	if err != nil {
+		return err
+	}
+	l.adopt(nl)
+	obs.Count("lattice.incr.removes", 1)
+	return nil
+}
+
+// adopt replaces l's entire state with nl's, keeping l's pointer identity.
+func (l *Lattice) adopt(nl *Lattice) {
+	l.ctx = nl.ctx
+	l.concepts = nl.concepts
+	l.parents = nl.parents
+	l.children = nl.children
+	l.top = nl.top
+	l.bottom = nl.bottom
+	l.idx = nl.idx
+	l.objConcept = nl.objConcept
+	l.attrConcept = nl.attrConcept
+	l.arena = nl.arena
+	l.workers = nl.workers
+	l.reps, l.repRows = nil, nil
+}
+
+// repsEnsure lazily builds the row-representative tables (one object per
+// distinct context row, first-occurrence order).
+func (l *Lattice) repsEnsure() {
+	if l.repRows != nil {
+		return
+	}
+	numObj := l.ctx.NumObjects()
+	l.reps = make([]int32, 0, numObj)
+	l.repRows = make(map[string]struct{}, numObj)
+	var keyBuf []byte
+	for o := 0; o < numObj; o++ {
+		keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
+		if _, dup := l.repRows[string(keyBuf)]; dup {
+			continue
+		}
+		l.repRows[string(keyBuf)] = struct{}{}
+		l.reps = append(l.reps, int32(o))
+	}
+}
+
+// isRep reports whether o is the first occurrence of its row. reps is
+// ascending, so this is a binary search.
+func (l *Lattice) isRep(o int) bool {
+	i := sort.Search(len(l.reps), func(i int) bool { return int(l.reps[i]) >= o })
+	return i < len(l.reps) && int(l.reps[i]) == o
+}
+
+// insertSortedInt inserts x into ascending xs, keeping it sorted. xs slices
+// may alias a shared slab with exact capacity, so growth reallocates before
+// shifting.
+func insertSortedInt(xs []int, x int) []int {
+	i := sort.SearchInts(xs, x)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = x
+	return xs
+}
+
+// removeSortedInt deletes x from ascending xs in place; absent x is a
+// programming error upstream and panics.
+func removeSortedInt(xs []int, x int) []int {
+	i := sort.SearchInts(xs, x)
+	if i >= len(xs) || xs[i] != x {
+		panic("concept: cover edge to remove is missing")
+	}
+	copy(xs[i:], xs[i+1:])
+	return xs[:len(xs)-1]
+}

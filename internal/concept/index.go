@@ -72,6 +72,11 @@ func (ix *intentIndex) place(h uint64, slot int32) {
 	ix.ids[i] = slot
 }
 
+// clone returns an independent copy of the index (same hashes, same slots).
+func (ix *intentIndex) clone() intentIndex {
+	return intentIndex{ids: append([]int32(nil), ix.ids...), mask: ix.mask, n: ix.n}
+}
+
 // grow doubles the slot array and rehashes from the concepts' intents.
 func (ix *intentIndex) grow(concepts []*Concept) {
 	old := ix.ids

@@ -49,6 +49,17 @@ type Lattice struct {
 	// sets must not outlive the lattice (see bitset.Arena and the cablevet
 	// poolarena check).
 	arena *bitset.Arena
+
+	// workers is the worker bound the lattice was built with; incremental
+	// removals that fall back to an in-place replay rebuild reuse it.
+	workers int
+
+	// reps holds one representative object per distinct context row in
+	// first-occurrence order (the same dedup linkCovers computes), and
+	// repRows its row-key membership set. Built lazily by repsEnsure for
+	// incremental maintenance; repRows == nil means not built.
+	reps    []int32
+	repRows map[string]struct{}
 }
 
 // BuildOption configures a lattice build.
@@ -102,7 +113,7 @@ func BuildCtx(cc context.Context, ctx *Context, opts ...BuildOption) (*Lattice, 
 	sp := obs.StartSpan("lattice.build")
 	defer sp.End()
 	arena := bitset.NewArena()
-	l := &Lattice{ctx: ctx, arena: arena}
+	l := &Lattice{ctx: ctx, arena: arena, workers: cfg.workers}
 	numObj, numAttr := ctx.NumObjects(), ctx.NumAttributes()
 	l.idx.initFor(256)
 

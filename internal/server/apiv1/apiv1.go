@@ -120,6 +120,30 @@ type TraceList struct {
 	Traces []TraceClass `json:"traces"`
 }
 
+// AddTracesRequest appends traces to an existing session without
+// rebuilding it: the lattice is maintained incrementally. Traces whose
+// event sequence matches an existing class only raise that class's
+// multiplicity; novel traces become new classes (and new lattice objects)
+// that start unlabeled. The whole batch is validated against the session's
+// reference FA before anything is applied, so a rejected trace leaves the
+// session unchanged.
+type AddTracesRequest struct {
+	// Traces is the internal/trace text format, as in create-session.
+	Traces string `json:"traces"`
+}
+
+// AddTracesResponse reports the incremental ingestion.
+type AddTracesResponse struct {
+	// Added is the number of traces ingested (including duplicates).
+	Added int `json:"added"`
+	// NewClasses is how many of them started a new trace class.
+	NewClasses int `json:"new_classes"`
+	// NumTraces is the session's class count after the ingestion.
+	NumTraces int `json:"num_traces"`
+	// NumConcepts is the lattice size after the ingestion.
+	NumConcepts int `json:"num_concepts"`
+}
+
 // SuggestRequest asks for a Focus template separating a mixed concept.
 type SuggestRequest struct {
 	Concept int `json:"concept"`

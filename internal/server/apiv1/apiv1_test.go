@@ -73,6 +73,15 @@ var goldens = []struct {
 		{Index: 0, Key: "X = popen(); pclose(X)", Count: 2, Label: "good"},
 		{Index: 1, Key: "X = popen(); fread(X)", Count: 1},
 	}}},
+	{"add_traces_request", AddTracesRequest{
+		Traces: "trace v7\n  X = popen()\n  fread(X)\n  pclose(X)\nend\n",
+	}},
+	{"add_traces_response", AddTracesResponse{
+		Added:       3,
+		NewClasses:  1,
+		NumTraces:   7,
+		NumConcepts: 11,
+	}},
 	{"suggest_request", SuggestRequest{Concept: 3}},
 	{"suggest_response", SuggestResponse{
 		Template: "project X",
@@ -183,6 +192,10 @@ func newZero(v any) any {
 		return &LabelResponse{}
 	case TraceList:
 		return &TraceList{}
+	case AddTracesRequest:
+		return &AddTracesRequest{}
+	case AddTracesResponse:
+		return &AddTracesResponse{}
 	case SuggestRequest:
 		return &SuggestRequest{}
 	case SuggestResponse:

@@ -67,6 +67,10 @@ func cacheKey(set *trace.Set, ref *fa.FA) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// Enabled reports whether the cache stores anything at all; sessions only
+// need copy-on-write lattice handling when it does.
+func (c *latticeCache) Enabled() bool { return c.cap > 0 }
+
 // Get returns the cached lattice for key, promoting it to most recently
 // used, or nil on a miss.
 func (c *latticeCache) Get(key string) *concept.Lattice {

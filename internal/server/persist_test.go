@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// restartServer simulates a crash-and-restart: a brand-new Server over the
+// same snapshot directory, with LoadSnapshots run at boot. Nothing is
+// carried over in memory — exactly the SIGKILL scenario.
+func restartServer(t *testing.T, dir string, m *obs.Metrics) (*Server, *client) {
+	t.Helper()
+	srv, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir, Metrics: m})
+	if _, err := srv.LoadSnapshots(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return srv, c
+}
+
+func TestSessionPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.New()
+	_, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir, Metrics: m})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	// Label two classes (WAL records) and add a trace (another record).
+	zero, one := 0, 1
+	var lr apiv1.LabelResponse
+	if code := c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &zero, Label: "bad"}, &lr); code != 200 {
+		t.Fatalf("label: %d", code)
+	}
+	if code := c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &one, Label: "good"}, &lr); code != 200 {
+		t.Fatalf("label: %d", code)
+	}
+	added := c.addTraces(sid, trace.NewSet(trace.ParseEvents("v8", "X = fopen()", "fwrite(X)", "pclose(X)")))
+
+	if saves := m.Counter("server.snapshot.save").Value(); saves != 1 {
+		t.Errorf("server.snapshot.save = %d, want 1 (create only)", saves)
+	}
+
+	// "Crash": no graceful save. Restart over the same directory.
+	m2 := obs.New()
+	_, c2 := restartServer(t, dir, m2)
+	if loads := m2.Counter("server.snapshot.load").Value(); loads != 1 {
+		t.Fatalf("server.snapshot.load = %d, want 1", loads)
+	}
+	if rep := m2.Counter("server.snapshot.replay").Value(); rep != 3 {
+		t.Errorf("server.snapshot.replay = %d, want 3 (two labels, one add)", rep)
+	}
+
+	// Same ID, same labels, same grown corpus, same lattice size.
+	var info apiv1.SessionInfo
+	if code := c2.do("GET", "/v1/sessions/"+sid, nil, &info); code != 200 {
+		t.Fatalf("restored session not resolvable: %d", code)
+	}
+	if info.NumTraces != added.NumTraces || info.NumConcepts != added.NumConcepts {
+		t.Fatalf("restored shape %+v, want %d classes / %d concepts", info, added.NumTraces, added.NumConcepts)
+	}
+	if info.Labeled != 2 {
+		t.Fatalf("restored session has %d labels, want 2", info.Labeled)
+	}
+	var traces apiv1.TraceList
+	if code := c2.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatal("list traces")
+	}
+	if traces.Traces[0].Label != "bad" || traces.Traces[1].Label != "good" {
+		t.Fatalf("restored labels = %q, %q; want bad, good", traces.Traces[0].Label, traces.Traces[1].Label)
+	}
+
+	// The restored session stays fully usable: label the added class.
+	idx := added.NumTraces - 1
+	if code := c2.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &idx, Label: "good"}, &lr); code != 200 {
+		t.Fatalf("label after restore: %d", code)
+	}
+}
+
+func TestSnapshotFilesFollowSessionLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir, IdleTimeout: time.Minute})
+	a := c.mustCreate(violationFixture(t))
+	b := c.mustCreate(fixtureFrom(t, trace.NewSet(trace.ParseEvents("w0", "a()"))))
+
+	snap := func(id string) string { return filepath.Join(dir, id+".snap") }
+	for _, id := range []string{a.SessionID, b.SessionID} {
+		if _, err := os.Stat(snap(id)); err != nil {
+			t.Fatalf("no snapshot for %s: %v", id, err)
+		}
+	}
+
+	// DELETE removes the files.
+	if code := c.do("DELETE", "/v1/sessions/"+a.SessionID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if _, err := os.Stat(snap(a.SessionID)); !os.IsNotExist(err) {
+		t.Errorf("deleted session's snapshot survived: %v", err)
+	}
+
+	// Idle eviction removes them too.
+	base := time.Now()
+	srv.store.now = func() time.Time { return base.Add(2 * time.Minute) }
+	if n := srv.EvictIdleNow(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, err := os.Stat(snap(b.SessionID)); !os.IsNotExist(err) {
+		t.Errorf("evicted session's snapshot survived: %v", err)
+	}
+}
+
+func TestWALTornTailRestoresPrefix(t *testing.T) {
+	dir := t.TempDir()
+	_, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+	zero, one := 0, 1
+	var lr apiv1.LabelResponse
+	if code := c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &zero, Label: "good"}, &lr); code != 200 {
+		t.Fatal("label")
+	}
+	if code := c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &one, Label: "bad"}, &lr); code != 200 {
+		t.Fatal("label")
+	}
+
+	// Tear the WAL mid-record, as a crash during a write would.
+	walPath := filepath.Join(dir, sid+".wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2 := restartServer(t, dir, obs.New())
+	var traces apiv1.TraceList
+	if code := c2.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatalf("restore after torn WAL: %d", code)
+	}
+	if traces.Traces[0].Label != "good" {
+		t.Errorf("first (durable) record lost: label %q", traces.Traces[0].Label)
+	}
+	if traces.Traces[1].Label != "" {
+		t.Errorf("torn record was applied: label %q", traces.Traces[1].Label)
+	}
+}
+
+func TestCorruptSnapshotSkippedOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	_, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir})
+	good := c.mustCreate(violationFixture(t))
+	bad := c.mustCreate(fixtureFrom(t, trace.NewSet(trace.ParseEvents("w0", "a()"))))
+
+	// Flip a byte in the middle of one snapshot.
+	path := filepath.Join(dir, bad.SessionID+".snap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x41
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.New()
+	srv2, c2 := restartServer(t, dir, m)
+	if n := len(srv2.store.list()); n != 1 {
+		t.Fatalf("%d sessions restored, want 1 (corrupt one skipped)", n)
+	}
+	if code := c2.do("GET", "/v1/sessions/"+good.SessionID, nil, nil); code != 200 {
+		t.Errorf("intact session did not restore: %d", code)
+	}
+	if errs := m.Counter("server.snapshot.load_errors").Value(); errs != 1 {
+		t.Errorf("server.snapshot.load_errors = %d, want 1", errs)
+	}
+}
+
+// TestEvictionSkipsBusySession is the idle-eviction race regression test:
+// a session whose entry lock is held (an in-flight request) must never be
+// evicted out from under the request, even when its idle stamp is stale.
+func TestEvictionSkipsBusySession(t *testing.T) {
+	srv, c := newTestServer(t, Config{CacheSize: 4, IdleTimeout: time.Minute})
+	created := c.mustCreate(violationFixture(t))
+	e := srv.store.list()[0]
+
+	// Simulate an in-flight request: the handler holds the entry lock
+	// while the idle horizon passes.
+	e.mu.Lock()
+	base := time.Now()
+	srv.store.now = func() time.Time { return base.Add(2 * time.Minute) }
+	if n := srv.EvictIdleNow(); n != 0 {
+		t.Fatalf("evicted %d sessions while one was locked, want 0", n)
+	}
+	e.mu.Unlock()
+
+	// The request completed — and touched the entry — so the session is
+	// fresh again and still must not be evicted.
+	srv.store.touch(e)
+	if n := srv.EvictIdleNow(); n != 0 {
+		t.Fatalf("evicted a session touched at request completion")
+	}
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID, nil, nil); code != 200 {
+		t.Fatalf("busy session was evicted: %d", code)
+	}
+
+	// Once genuinely idle past the horizon, it goes.
+	srv.store.now = func() time.Time { return base.Add(10 * time.Minute) }
+	// The GET above re-stamped lastUsed under the 2-minute clock; advance
+	// past that too.
+	if n := srv.EvictIdleNow(); n != 1 {
+		t.Fatalf("idle session not evicted: %d", n)
+	}
+}
+
+// TestEvictionConcurrentWithRequests hammers one session with labelers
+// while the janitor sweeps under an aggressively advanced clock; run with
+// -race this is the lock-discipline check for the eviction path. Every
+// response must be a clean 200 or 404 — never a hang, panic, or torn
+// state.
+func TestEvictionConcurrentWithRequests(t *testing.T) {
+	srv, c := newTestServer(t, Config{CacheSize: 4, IdleTimeout: time.Millisecond})
+	created := c.mustCreate(violationFixture(t))
+
+	var mu sync.Mutex
+	skew := time.Duration(0)
+	base := time.Now()
+	srv.store.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return base.Add(skew)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % created.NumTraces
+				var lr apiv1.LabelResponse
+				code := c.do("POST", "/v1/sessions/"+created.SessionID+"/label", apiv1.LabelRequest{Trace: &idx, Label: "good"}, &lr)
+				if code != 200 && code != http.StatusNotFound {
+					t.Errorf("labeler %d: status %d", g, code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			mu.Lock()
+			skew += time.Millisecond
+			mu.Unlock()
+			srv.EvictIdleNow()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -43,6 +43,10 @@ type Config struct {
 	// Workers caps lattice-build parallelism for requests that do not
 	// set their own; 0 uses GOMAXPROCS.
 	Workers int
+	// SnapshotDir, when non-empty, enables crash-safe session
+	// persistence: a snapshot per session plus a write-ahead log of
+	// labeling actions (see persist.go). Empty disables persistence.
+	SnapshotDir string
 	// Metrics receives instrumentation; nil uses the process default
 	// registry (which may itself be nil — all instruments no-op then).
 	Metrics *obs.Metrics
@@ -55,10 +59,13 @@ type Server struct {
 	metrics *obs.Metrics
 	store   *store
 	cache   *latticeCache
+	persist *persister // nil when persistence is disabled
 	mux     *http.ServeMux
 }
 
-// New builds a Server with its routes mounted.
+// New builds a Server with its routes mounted. A bad SnapshotDir is
+// reported on first use (LoadSnapshots/SaveSnapshots), not here, so New
+// stays infallible for callers without persistence.
 func New(cfg Config) *Server {
 	m := cfg.Metrics
 	if m == nil {
@@ -70,6 +77,12 @@ func New(cfg Config) *Server {
 		store:   newStore(m),
 		cache:   newLatticeCache(cfg.CacheSize, m),
 	}
+	if p, err := newPersister(cfg.SnapshotDir, m); err == nil && p != nil {
+		s.persist = p
+		s.store.onEvict = p.removeFiles
+	} else if err != nil {
+		m.Counter("server.snapshot.errors").Inc()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
 	mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.handleListSessions))
@@ -78,6 +91,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}/concepts", s.instrument("list_concepts", s.handleListConcepts))
 	mux.HandleFunc("GET /v1/sessions/{id}/concepts/{cid}", s.instrument("get_concept", s.handleGetConcept))
 	mux.HandleFunc("GET /v1/sessions/{id}/traces", s.instrument("list_traces", s.handleListTraces))
+	mux.HandleFunc("POST /v1/sessions/{id}/traces", s.instrument("add_traces", s.handleAddTraces))
 	mux.HandleFunc("POST /v1/sessions/{id}/label", s.instrument("label", s.handleLabel))
 	mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.instrument("suggest", s.handleSuggest))
 	mux.HandleFunc("POST /v1/sessions/{id}/focus", s.instrument("focus", s.handleFocus))
@@ -236,6 +250,10 @@ func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(e *
 		}
 		return fn(res.entry, sess)
 	}()
+	// Stamp the idle clock again now the work is done: resolve stamped at
+	// request start, so a request that outlived the idle window would
+	// otherwise hand its session straight to the janitor.
+	s.store.touch(res.entry)
 	if err != nil {
 		return err
 	}
@@ -300,12 +318,25 @@ func (s *Server) handleCreateSession(ctx context.Context, w http.ResponseWriter,
 		}
 		return badRequest(err)
 	}
-	if !hit {
+	// After Put, the cache and the session reference one lattice; either
+	// way an enabled cache means this session must copy-on-write before
+	// its first incremental mutation (see handleAddTraces).
+	shared := hit
+	if !hit && s.cache.Enabled() {
 		s.cache.Put(key, sess.Lattice())
+		shared = true
 	}
-	id, err := s.store.add(sess)
+	id, err := s.store.add(sess, shared)
 	if err != nil {
 		return err
+	}
+	if s.persist != nil {
+		// Persist the newborn session before the client learns its ID, so
+		// a crash at any later point can restore it. Failure is counted,
+		// not fatal: the in-memory session still serves.
+		if err := s.persist.writeSnap(id, sess); err != nil {
+			s.metrics.Counter("server.snapshot.errors").Inc()
+		}
 	}
 	writeJSON(w, http.StatusCreated, apiv1.CreateSessionResponse{
 		SessionID:   id,
@@ -491,10 +522,18 @@ func (s *Server) handleLabel(ctx context.Context, w http.ResponseWriter, r *http
 		return badRequest(errors.New(`set exactly one of "trace" or "concept"`))
 	}
 	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
+		// Log top-level label changes to the session's WAL. Focus labels
+		// are scratch state until the focus ends (the merge rewrites the
+		// snapshot), so only the parent session is diffed.
+		var before []cable.Label
+		if s.persist != nil && sess == e.session {
+			before = sess.Labels()
+		}
 		if req.Trace != nil {
 			if err := sess.LabelTrace(*req.Trace, cable.Label(req.Label)); err != nil {
 				return 0, nil, err
 			}
+			s.walLabelDiff(e.id, sess, before)
 			return http.StatusOK, apiv1.LabelResponse{Labeled: 1}, nil
 		}
 		sel, err := parseSelector(req.Selector)
@@ -505,7 +544,98 @@ func (s *Server) handleLabel(ctx context.Context, w http.ResponseWriter, r *http
 		if err != nil {
 			return 0, nil, err
 		}
+		s.walLabelDiff(e.id, sess, before)
 		return http.StatusOK, apiv1.LabelResponse{Labeled: n}, nil
+	})
+}
+
+// walLabelDiff appends one WAL record per class whose label changed
+// between the before snapshot and the session's current labeling. A nil
+// before (persistence off, or a focus session) is a no-op.
+func (s *Server) walLabelDiff(id string, sess *cable.Session, before []cable.Label) {
+	if before == nil {
+		return
+	}
+	after := sess.Labels()
+	reps := sess.Representatives()
+	var recs [][]byte
+	for i := range after {
+		if i < len(before) && before[i] == after[i] {
+			continue
+		}
+		recs = append(recs, walLabelRecord(reps[i].Key(), string(after[i])))
+	}
+	if err := s.persist.appendWAL(id, recs); err != nil {
+		s.metrics.Counter("server.snapshot.errors").Inc()
+	}
+}
+
+// handleAddTraces ingests additional traces into a live session without
+// rebuilding its lattice: duplicates bump class multiplicities, novel
+// traces run the incremental lattice-maintenance path. The batch is
+// validated up front so a rejected trace leaves the session unchanged.
+func (s *Server) handleAddTraces(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req apiv1.AddTracesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	in, err := trace.Read(strings.NewReader(req.Traces))
+	if err != nil {
+		return badRequest(fmt.Errorf("traces: %w", err))
+	}
+	if in.Total() == 0 {
+		return badRequest(errors.New("traces: empty trace set"))
+	}
+	return s.withSession(w, r, func(e *entry, sess *cable.Session) (int, any, error) {
+		if sess != e.session {
+			return 0, nil, badRequest(errors.New("cannot add traces to a focus session; add them to the parent"))
+		}
+		ref := sess.Ref()
+		for _, cl := range in.Classes() {
+			if _, ok := ref.Executed(cl.Rep); !ok {
+				return 0, nil, badRequest(fmt.Errorf("reference FA %q rejects trace %q", ref.Name(), cl.Rep.ID))
+			}
+		}
+		if e.latticeShared {
+			// Copy-on-write: the cache may still serve this lattice to a
+			// re-upload of the original corpus, so mutate a private copy.
+			sess.DetachLattice()
+			e.latticeShared = false
+		}
+		added, newClasses := 0, 0
+		var walRecs [][]byte
+		for _, cl := range in.Classes() {
+			for j := 0; j < cl.Count; j++ {
+				t := cl.Rep
+				t.ID = cl.IDs[j]
+				_, isNew, err := sess.AddTraceCtx(ctx, t)
+				if err != nil {
+					return 0, nil, err
+				}
+				added++
+				if isNew {
+					newClasses++
+				}
+				if s.persist != nil {
+					rec, err := walAddRecord(t)
+					if err != nil {
+						return 0, nil, err
+					}
+					walRecs = append(walRecs, rec)
+				}
+			}
+		}
+		if s.persist != nil {
+			if err := s.persist.appendWAL(e.id, walRecs); err != nil {
+				s.metrics.Counter("server.snapshot.errors").Inc()
+			}
+		}
+		return http.StatusOK, apiv1.AddTracesResponse{
+			Added:       added,
+			NewClasses:  newClasses,
+			NumTraces:   sess.NumTraces(),
+			NumConcepts: sess.Lattice().Len(),
+		}, nil
 	})
 }
 
@@ -588,8 +718,17 @@ func (s *Server) handleEndFocus(ctx context.Context, w http.ResponseWriter, r *h
 			return apiv1.EndFocusResponse{}, err
 		}
 		s.store.dropFocus(res.entry, res.focusID)
+		if s.persist != nil {
+			// The merge changed parent labels outside the WAL's record
+			// vocabulary only in bulk; a fresh snapshot (which also
+			// truncates the WAL) is the simplest durable form.
+			if err := s.persist.writeSnap(res.entry.id, res.entry.session); err != nil {
+				s.metrics.Counter("server.snapshot.errors").Inc()
+			}
+		}
 		return apiv1.EndFocusResponse{Merged: merged}, nil
 	}()
+	s.store.touch(res.entry)
 	if err != nil {
 		return err
 	}

@@ -282,6 +282,156 @@ func TestConcurrentLabeling(t *testing.T) {
 	}
 }
 
+// addTraces posts a batch of traces to a session and requires success.
+func (c *client) addTraces(sid string, set *trace.Set) apiv1.AddTracesResponse {
+	c.t.Helper()
+	var text strings.Builder
+	if err := trace.Write(&text, set); err != nil {
+		c.t.Fatal(err)
+	}
+	var resp apiv1.AddTracesResponse
+	if code := c.do("POST", "/v1/sessions/"+sid+"/traces", apiv1.AddTracesRequest{Traces: text.String()}, &resp); code != 200 {
+		c.t.Fatalf("add traces: status %d", code)
+	}
+	return resp
+}
+
+func TestAddTraces(t *testing.T) {
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	// A duplicate of an existing class only bumps its multiplicity.
+	dup := c.addTraces(sid, trace.NewSet(trace.ParseEvents("v7", "X = popen()", "pclose(X)")))
+	if dup.Added != 1 || dup.NewClasses != 0 || dup.NumTraces != created.NumTraces {
+		t.Fatalf("duplicate add = %+v, want 1 added, 0 new classes, %d classes", dup, created.NumTraces)
+	}
+
+	// A novel trace becomes a new, unlabeled class and grows the lattice
+	// incrementally.
+	novel := c.addTraces(sid, trace.NewSet(trace.ParseEvents("v8", "X = fopen()", "fwrite(X)", "pclose(X)")))
+	if novel.NewClasses != 1 || novel.NumTraces != created.NumTraces+1 {
+		t.Fatalf("novel add = %+v, want a new class", novel)
+	}
+	if novel.NumConcepts < created.NumConcepts {
+		t.Fatalf("lattice shrank on add: %d -> %d", created.NumConcepts, novel.NumConcepts)
+	}
+	var traces apiv1.TraceList
+	if code := c.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatalf("list traces: %d", code)
+	}
+	last := traces.Traces[len(traces.Traces)-1]
+	if last.Key != "X = fopen(); fwrite(X); pclose(X)" || last.Label != "" {
+		t.Fatalf("new class = %+v, want the added trace, unlabeled", last)
+	}
+
+	// The lattice over the grown context must match a from-scratch build
+	// of the same corpus: create a second session over (fixture + v8).
+	grown := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fwrite(X)", "pclose(X)"),
+		trace.ParseEvents("v3", "X = popen()", "fread(X)"),
+		trace.ParseEvents("v4", "X = fopen()", "fread(X)"),
+		trace.ParseEvents("v5", "X = fopen()", "pclose(X)"),
+		trace.ParseEvents("v8", "X = fopen()", "fwrite(X)", "pclose(X)"),
+	)
+	var fx2 apiv1.CreateSessionRequest
+	fx2.RefFA = violationFixture(t).RefFA
+	var text strings.Builder
+	if err := trace.Write(&text, grown); err != nil {
+		t.Fatal(err)
+	}
+	fx2.Traces = text.String()
+	rebuilt := c.mustCreate(fx2)
+	if rebuilt.NumConcepts != novel.NumConcepts {
+		t.Fatalf("incremental lattice has %d concepts, rebuild has %d", novel.NumConcepts, rebuilt.NumConcepts)
+	}
+
+	// A trace the reference FA rejects fails the whole batch atomically.
+	var apiErr apiv1.Error
+	bad := trace.NewSet(
+		trace.ParseEvents("ok", "X = popen()"),
+		trace.ParseEvents("nope", "launch_missiles(X)"),
+	)
+	text.Reset()
+	if err := trace.Write(&text, bad); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.do("POST", "/v1/sessions/"+sid+"/traces", apiv1.AddTracesRequest{Traces: text.String()}, &apiErr); code != 400 {
+		t.Fatalf("rejected trace: status %d, want 400", code)
+	}
+	var info apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+sid, nil, &info); code != 200 {
+		t.Fatal("info")
+	}
+	if info.NumTraces != novel.NumTraces {
+		t.Fatalf("failed batch mutated the session: %d classes, want %d", info.NumTraces, novel.NumTraces)
+	}
+
+	// Adds target top-level sessions only.
+	var focus apiv1.FocusResponse
+	if code := c.do("POST", "/v1/sessions/"+sid+"/focus", apiv1.FocusRequest{
+		Concept: findTop(t, c, sid), RefFA: violationFixture(t).RefFA,
+	}, &focus); code != http.StatusCreated {
+		t.Fatalf("focus: %d", code)
+	}
+	text.Reset()
+	if err := trace.Write(&text, trace.NewSet(trace.ParseEvents("v9", "X = popen()"))); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.do("POST", "/v1/sessions/"+focus.SessionID+"/traces", apiv1.AddTracesRequest{Traces: text.String()}, &apiErr); code != 400 {
+		t.Fatalf("add to focus session: status %d, want 400", code)
+	}
+}
+
+// TestCacheNotPoisonedByIncrementalAdd is the staleness regression test:
+// growing one session incrementally must not mutate the lattice the cache
+// serves, so a re-upload of the original corpus still gets the original
+// lattice (and still hits the cache).
+func TestCacheNotPoisonedByIncrementalAdd(t *testing.T) {
+	m := obs.New()
+	srv, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
+	fx := violationFixture(t)
+	first := c.mustCreate(fx)
+
+	// Mutate the first session: its lattice was just stored in the cache,
+	// so this must detach a private copy before touching anything.
+	grown := c.addTraces(first.SessionID, trace.NewSet(
+		trace.ParseEvents("v8", "X = fopen()", "fwrite(X)", "pclose(X)")))
+	if grown.NumTraces != first.NumTraces+1 {
+		t.Fatalf("add: %+v", grown)
+	}
+
+	// Re-upload of the pristine corpus: must hit the cache AND see the
+	// unmutated lattice.
+	second := c.mustCreate(fx)
+	if !second.CacheHit {
+		t.Error("re-upload after incremental add missed the cache")
+	}
+	if second.NumTraces != first.NumTraces || second.NumConcepts != first.NumConcepts {
+		t.Fatalf("cache served a mutated lattice: %+v, want the original %+v", second, first)
+	}
+	if hits := m.Counter("server.cache.hits").Value(); hits != 1 {
+		t.Errorf("server.cache.hits = %d, want 1", hits)
+	}
+	if ev := m.Counter("server.cache.evictions").Value(); ev != 0 {
+		t.Errorf("server.cache.evictions = %d, want 0 (mutation must not evict)", ev)
+	}
+	if srv.cache.Len() != 1 {
+		t.Errorf("cache holds %d lattices, want 1", srv.cache.Len())
+	}
+
+	// And the mutated session keeps its own private growth.
+	var info apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+first.SessionID, nil, &info); code != 200 {
+		t.Fatal("info")
+	}
+	if info.NumTraces != first.NumTraces+1 {
+		t.Errorf("mutated session lost its added class: %d", info.NumTraces)
+	}
+}
+
 func TestLatticeCacheHit(t *testing.T) {
 	m := obs.New()
 	srv, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})

@@ -25,6 +25,12 @@ type entry struct {
 	session *cable.Session
 	// focuses maps focus-session IDs to their live Focus handles.
 	focuses map[string]*cable.Focus
+	// latticeShared marks a session whose lattice is also held by the
+	// server's cache (either served from it or just stored into it). A
+	// mutating request must DetachLattice first and clear this flag, so
+	// the cache keeps serving the pristine lattice to later uploads of
+	// the same corpus. Guarded by mu.
+	latticeShared bool
 
 	// lastUsed is guarded by the store's mutex (not the entry's): the
 	// janitor must read it without taking every session lock, and touch
@@ -42,6 +48,10 @@ type store struct {
 	focusParent map[string]*entry
 	metrics     *obs.Metrics
 	now         func() time.Time // injectable for eviction tests
+	// onEvict, when set, runs with the ID of every session that leaves
+	// the table (delete or idle eviction), outside all locks; the server
+	// uses it to delete the session's snapshot and WAL files.
+	onEvict func(id string)
 }
 
 func newStore(m *obs.Metrics) *store {
@@ -62,20 +72,48 @@ func newID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// add registers a session and returns its new ID.
-func (st *store) add(s *cable.Session) (string, error) {
+// add registers a session and returns its new ID. latticeShared records
+// whether the session's lattice is also referenced by the lattice cache
+// (see entry.latticeShared).
+func (st *store) add(s *cable.Session, latticeShared bool) (string, error) {
 	id, err := newID()
 	if err != nil {
 		return "", err
 	}
-	e := &entry{id: id, session: s, focuses: make(map[string]*cable.Focus)}
-	st.mu.Lock()
-	e.lastUsed = st.now()
-	st.entries[id] = e
-	st.metrics.Gauge("server.sessions.live").Set(int64(len(st.entries)))
-	st.mu.Unlock()
+	st.insert(&entry{id: id, session: s, latticeShared: latticeShared, focuses: make(map[string]*cable.Focus)})
 	st.metrics.Counter("server.sessions.created").Inc()
 	return id, nil
+}
+
+// restore registers a session under a pre-existing ID — the snapshot
+// loader re-homes sessions from disk with the IDs their clients already
+// hold. A duplicate ID is an error rather than a silent overwrite.
+func (st *store) restore(id string, s *cable.Session) error {
+	st.mu.Lock()
+	_, dup := st.entries[id]
+	st.mu.Unlock()
+	if dup {
+		return fmt.Errorf("server: restoring session %q: ID already live", id)
+	}
+	st.insert(&entry{id: id, session: s, focuses: make(map[string]*cable.Focus)})
+	return nil
+}
+
+func (st *store) insert(e *entry) {
+	st.mu.Lock()
+	e.lastUsed = st.now()
+	st.entries[e.id] = e
+	st.metrics.Gauge("server.sessions.live").Set(int64(len(st.entries)))
+	st.mu.Unlock()
+}
+
+// touch stamps an entry's idle clock. resolve already stamps at request
+// start; handlers touch again at request completion so a session is never
+// considered idle while (or right after) a slow request runs against it.
+func (st *store) touch(e *entry) {
+	st.mu.Lock()
+	e.lastUsed = st.now()
+	st.mu.Unlock()
 }
 
 // addFocus registers a focus sub-session under its parent entry and
@@ -148,6 +186,9 @@ func (st *store) remove(id string) bool {
 	}
 	st.mu.Unlock()
 	st.metrics.Counter("server.sessions.deleted").Inc()
+	if st.onEvict != nil {
+		st.onEvict(id)
+	}
 	return true
 }
 
@@ -172,36 +213,60 @@ func (st *store) list() []*entry {
 
 // evictIdle removes sessions untouched for longer than maxIdle and
 // returns how many were evicted.
+//
+// The sweep must not race with in-flight requests: a handler that holds
+// the entry lock past the idle horizon (a slow label batch, a focus
+// build) would previously see its session deleted out from under it, and
+// the completed work silently discarded. The janitor therefore claims
+// each candidate with TryLock — an entry whose lock is contended is in
+// use by definition, so it is skipped and retried on the next sweep —
+// and re-verifies staleness under the store lock before deleting, since
+// the request that held the lock touched the entry at completion.
 func (st *store) evictIdle(maxIdle time.Duration) int {
 	if maxIdle <= 0 {
 		return 0
 	}
 	cutoff := st.now().Add(-maxIdle)
 	st.mu.RLock()
-	var stale []string
-	for id, e := range st.entries {
+	var stale []*entry
+	for _, e := range st.entries {
 		if e.lastUsed.Before(cutoff) {
-			stale = append(stale, id)
+			stale = append(stale, e)
 		}
 	}
 	st.mu.RUnlock()
-	n := 0
-	for _, id := range stale {
-		// Re-check under remove's lock via lastUsed: a request that
-		// touched the session between the scan and now wins.
-		st.mu.RLock()
-		e, ok := st.entries[id]
-		fresh := ok && !e.lastUsed.Before(cutoff)
-		st.mu.RUnlock()
-		if !ok || fresh {
+	var evicted []string
+	for _, e := range stale {
+		if !e.mu.TryLock() {
+			continue // in use right now; next sweep retries
+		}
+		// Lock order entry → store, as in addFocus. remove() cannot be
+		// reused here: it takes the locks sequentially and would re-lock
+		// the entry mutex this goroutine already holds.
+		st.mu.Lock()
+		if cur, ok := st.entries[e.id]; !ok || cur != e || !e.lastUsed.Before(cutoff) {
+			st.mu.Unlock()
+			e.mu.Unlock()
 			continue
 		}
-		if st.remove(id) {
-			n++
+		delete(st.entries, e.id)
+		for fid := range e.focuses {
+			delete(st.focusParent, fid)
+		}
+		st.metrics.Gauge("server.sessions.live").Set(int64(len(st.entries)))
+		st.mu.Unlock()
+		e.focuses = make(map[string]*cable.Focus)
+		e.mu.Unlock()
+		evicted = append(evicted, e.id)
+	}
+	if len(evicted) > 0 {
+		st.metrics.Counter("server.sessions.evicted").Add(int64(len(evicted)))
+	}
+	if st.onEvict != nil {
+		// File cleanup runs outside every lock.
+		for _, id := range evicted {
+			st.onEvict(id)
 		}
 	}
-	if n > 0 {
-		st.metrics.Counter("server.sessions.evicted").Add(int64(n))
-	}
-	return n
+	return len(evicted)
 }

@@ -226,10 +226,18 @@ func (s *Set) Representatives() []Trace {
 
 // ClassOf returns the class index of a trace identical to t, or -1.
 func (s *Set) ClassOf(t Trace) int {
+	return s.ClassOfKey(t.Key())
+}
+
+// ClassOfKey returns the class index of the trace with the given canonical
+// key (see Trace.Key), or -1. Callers that persist class identity — e.g. a
+// write-ahead log of labeling actions — store keys and resolve them here on
+// replay, which stays correct even if class indices shift between runs.
+func (s *Set) ClassOfKey(key string) int {
 	if s.index == nil {
 		return -1
 	}
-	if i, ok := s.index[t.Key()]; ok {
+	if i, ok := s.index[key]; ok {
 		return i
 	}
 	return -1

@@ -14,7 +14,8 @@ BENCHTIME="${1:-1s}"
 TMP="$(mktemp)"
 TMP_FA="$(mktemp)"
 TMP_BIG="$(mktemp)"
-trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG"' EXIT
+TMP_INCR="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR"' EXIT
 
 # to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
 # allocs_per_op}} JSON object.
@@ -69,6 +70,16 @@ go test -run '^$' -bench 'BenchmarkTraceContext' \
 to_json < "$TMP_FA" > BENCH_fa.json
 echo "wrote BENCH_fa.json"
 
+# Incremental maintenance: one AddTraceCtx against a built lattice vs the
+# full BuildCtx rebuild it replaces, plus the remove paths. The add/rebuild
+# ratio is the headline number (the server's add-traces endpoint rides on
+# it); the acceptance bar is >=10x.
+go test -run '^$' -bench 'BenchmarkIncremental' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP_INCR"
+
+to_json < "$TMP_INCR" > BENCH_incremental.json
+echo "wrote BENCH_incremental.json"
+
 # One merged file keyed by suite, so trend tooling reads a single
 # artifact instead of stitching the per-suite files.
 {
@@ -81,6 +92,9 @@ echo "wrote BENCH_fa.json"
     echo '  ,'
     echo '  "fa":'
     sed 's/^/    /' BENCH_fa.json
+    echo '  ,'
+    echo '  "incremental":'
+    sed 's/^/    /' BENCH_incremental.json
     echo '}'
 } > BENCH_summary.json
 echo "wrote BENCH_summary.json"
