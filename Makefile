@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke
+.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke
 
-ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke
+ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,8 @@ bench-smoke:
 	    -benchtime 1x ./internal/concept ./internal/bitset
 	$(GO) test -run '^$$' -bench 'BenchmarkExecuted|BenchmarkExecutedAll|BenchmarkAccepts|BenchmarkTraceContext' \
 	    -benchtime 1x ./internal/fa ./internal/concept
+	$(GO) test -run '^$$' -bench 'BenchmarkFeed|BenchmarkManyStreams|BenchmarkIngest|BenchmarkStreamPump' \
+	    -benchtime 1x ./internal/stream ./internal/server
 
 # Run cmd/paper with -metrics and assert the snapshot attributes time to
 # the pipeline phases (a span line for lattice.build must be present).
@@ -75,6 +77,14 @@ cabled-smoke:
 # back with every label intact.
 snapshot-smoke:
 	$(GO) test -run 'TestSnapshotKillRestart|TestSessionPersistRoundTrip' -count=1 \
+	    ./cmd/cabled ./internal/server
+
+# Streaming acceptance: the real cabled binary carries 100 open streams
+# through a SIGTERM drain and a restart (stream frontiers and violation
+# classes persisted), and the in-process soak drives 1000 concurrent
+# streams under the race detector with a flat live heap.
+stream-smoke:
+	$(GO) test -race -run 'TestStreamSmoke|TestStreamSoak' -count=1 \
 	    ./cmd/cabled ./internal/server
 
 # Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op)

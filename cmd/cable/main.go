@@ -10,6 +10,7 @@
 //	cable -workspace session.cws
 //	cable lint -fa spec.fa [-traces scenarios.txt]
 //	cable lint -corpus
+//	cable stream -fa spec.fa [-window N] events.ndjson...
 //
 // A workspace file (written by the "workspace" command) bundles traces,
 // reference FA, and labels, so a labeling session can be resumed. Type
@@ -36,6 +37,10 @@ func main() {
 	// classic flags-only interactive entry point.
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		runLint(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		runStream(os.Args[2:])
 		return
 	}
 	var (

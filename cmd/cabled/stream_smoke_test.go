@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fa"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// stdioStreamSpec is the strict streaming protocol the smoke test checks:
+// popen opens, fread/fwrite use, pclose closes, and fclose (present in
+// the session alphabet) kills the frontier.
+const stdioStreamSpec = "fa stdio\n" +
+	"states 2\n" +
+	"start 0\n" +
+	"accept 0\n" +
+	"edge 0 1 X = popen()\n" +
+	"edge 1 1 fread(X)\n" +
+	"edge 1 1 fwrite(X)\n" +
+	"edge 1 0 pclose(X)\n" +
+	"end\n"
+
+// stdioFixtureJSON builds a create-session payload whose permissive
+// reference FA covers the stdio alphabet, so stream violation windows
+// are valid lattice objects.
+func stdioFixtureJSON(t *testing.T) []byte {
+	t.Helper()
+	set := trace.NewSet(
+		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
+		trace.ParseEvents("v1", "X = popen()", "fread(X)", "pclose(X)"),
+		trace.ParseEvents("v2", "X = popen()", "fwrite(X)", "pclose(X)"),
+		trace.ParseEvents("v3", "X = fopen()", "fread(X)", "fclose(X)"),
+	)
+	var tb, fb strings.Builder
+	if err := trace.Write(&tb, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Write(&fb, fa.FromTraces(set.Alphabet())); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(apiv1.CreateSessionRequest{Traces: tb.String(), RefFA: fb.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postNDJSON sends a raw NDJSON batch to a stream's events endpoint.
+func (p *cabledProc) postNDJSON(t *testing.T, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post("http://"+p.addr+path, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (p *cabledProc) del(t *testing.T, path string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, "http://"+p.addr+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestStreamSmoke is the deployment-shaped streaming check: the real
+// cabled binary carries 100 open streams, every stream pumps NDJSON and
+// violates once, SIGTERM lands mid-stream (all streams still open), the
+// process must drain cleanly, and a restart on the same snapshot
+// directory must bring back every stream frontier and every violation
+// class.
+func TestStreamSmoke(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGTERM delivery is POSIX-only")
+	}
+	const nStreams = 100
+	bin := filepath.Join(t.TempDir(), "cabled")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	snapDir := t.TempDir()
+
+	p1 := startCabled(t, bin, snapDir)
+	defer p1.cmd.Process.Kill()
+	var created apiv1.CreateSessionResponse
+	if code := p1.post(t, "/v1/sessions", stdioFixtureJSON(t), &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	sid := created.SessionID
+
+	// Open the streams and pump each one: a violating batch (fclose on a
+	// pipe), then a second batch that leaves the stream mid-protocol, so
+	// SIGTERM genuinely lands mid-stream everywhere.
+	open, _ := json.Marshal(apiv1.OpenStreamRequest{SessionID: sid, Spec: stdioStreamSpec, Window: 8})
+	ids := make([]string, nStreams)
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams)
+	for i := 0; i < nStreams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var opened apiv1.OpenStreamResponse
+			if code := p1.post(t, "/v1/streams", open, &opened); code != http.StatusCreated {
+				errs <- fmt.Errorf("stream %d: open: %d", i, code)
+				return
+			}
+			ids[i] = opened.StreamID
+			var ev apiv1.StreamEventsResponse
+			batch := `{"event": "X = popen()"}` + "\n" + `{"event": "fread(X)"}` + "\n" + `{"event": "fclose(X)"}` + "\n"
+			if code := p1.postNDJSON(t, "/v1/streams/"+opened.StreamID+"/events", batch, &ev); code != http.StatusOK {
+				errs <- fmt.Errorf("stream %d: events: %d", i, code)
+				return
+			}
+			if len(ev.Violations) != 1 {
+				errs <- fmt.Errorf("stream %d: %d violations, want 1", i, len(ev.Violations))
+				return
+			}
+			if code := p1.postNDJSON(t, "/v1/streams/"+opened.StreamID+"/events", `{"event": "X = popen()"}`+"\n", &ev); code != http.StatusOK {
+				errs <- fmt.Errorf("stream %d: second batch: %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// SIGTERM with all 100 streams open: the drain must complete within
+	// the grace period and flush stream state to the WAL.
+	if err := p1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- p1.cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("cabled exited uncleanly: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		p1.cmd.Process.Kill()
+		t.Fatal("cabled did not drain within the grace period")
+	}
+
+	p2 := startCabled(t, bin, snapDir)
+	defer p2.cmd.Process.Kill()
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+
+	// Every stream is back with its full pre-SIGTERM state: four events,
+	// one violation, frontier mid-protocol.
+	var list apiv1.StreamList
+	if code := p2.get(t, "/v1/streams?session="+sid, &list); code != http.StatusOK {
+		t.Fatalf("list streams: %d", code)
+	}
+	if len(list.Streams) != nStreams {
+		t.Fatalf("%d streams after restart, want %d", len(list.Streams), nStreams)
+	}
+	for _, si := range list.Streams {
+		if si.Events != 4 || si.Violations != 1 || si.Accepting {
+			t.Fatalf("stream %s restored as %+v, want 4 events, 1 violation, mid-protocol", si.StreamID, si)
+		}
+	}
+
+	// The violation class survived into the session's lattice.
+	var traces apiv1.TraceList
+	if code := p2.get(t, "/v1/sessions/"+sid+"/traces", &traces); code != http.StatusOK {
+		t.Fatalf("traces: %d", code)
+	}
+	found := false
+	for _, tc := range traces.Traces {
+		if tc.Key == "X = popen(); fread(X); fclose(X)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation class missing after restart; classes: %+v", traces.Traces)
+	}
+
+	// Restored streams are live checkers, not exhibits: one finishes its
+	// protocol instance and closes clean, one closes mid-protocol and
+	// yields the incomplete-instance violation.
+	var ev apiv1.StreamEventsResponse
+	if code := p2.postNDJSON(t, "/v1/streams/"+ids[0]+"/events", `{"event": "pclose(X)"}`+"\n", &ev); code != http.StatusOK {
+		t.Fatalf("post-restart events: %d", code)
+	}
+	if len(ev.Violations) != 0 {
+		t.Fatalf("pclose on a restored mid-protocol stream violated: %+v", ev.Violations)
+	}
+	var closed apiv1.CloseStreamResponse
+	if code := p2.del(t, "/v1/streams/"+ids[0], &closed); code != http.StatusOK || closed.Violation != nil {
+		t.Fatalf("clean close: code %d, violation %+v", code, closed.Violation)
+	}
+	if code := p2.del(t, "/v1/streams/"+ids[1], &closed); code != http.StatusOK {
+		t.Fatalf("mid-protocol close: %d", code)
+	}
+	if closed.Violation == nil || !closed.Violation.Incomplete {
+		t.Fatalf("mid-protocol close yielded %+v, want an incomplete violation", closed.Violation)
+	}
+}

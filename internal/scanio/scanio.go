@@ -34,18 +34,41 @@ func NewScanner(r io.Reader) *bufio.Scanner {
 	return sc
 }
 
+// Error is a read failure located at a specific line. LineError returns
+// this type, so callers that need the structure — e.g. a service mapping
+// parse failures into a machine-readable error envelope with a line
+// field — can recover it with errors.As; everything else keeps seeing
+// the same rendered message LineError has always produced.
+type Error struct {
+	// Subsystem names the reader, e.g. "trace" or "fa".
+	Subsystem string
+	// Line is the 1-based line number where the failure occurred.
+	Line int
+	// Err is the underlying error.
+	Err error
+}
+
+// Error renders the located failure; bufio.ErrTooLong is translated into
+// a message that spells out the shared limit instead of the opaque
+// "token too long".
+func (e *Error) Error() string {
+	if errors.Is(e.Err, bufio.ErrTooLong) {
+		return fmt.Sprintf("%s: line %d: line exceeds %d-byte limit: %v",
+			e.Subsystem, e.Line, MaxLineBytes, e.Err)
+	}
+	return fmt.Sprintf("%s: line %d: %v", e.Subsystem, e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
 // LineError wraps a scanner (or other read) error with the 1-based line
 // number where it occurred, prefixed by the subsystem name (e.g.
-// "trace", "fa"). bufio.ErrTooLong is translated into a message that
-// spells out the shared limit instead of the opaque "token too long".
-// A nil err returns nil, so callers can wrap sc.Err() unconditionally.
+// "trace", "fa"). A nil err returns nil, so callers can wrap sc.Err()
+// unconditionally. The returned error is a *Error.
 func LineError(subsystem string, line int, err error) error {
 	if err == nil {
 		return nil
 	}
-	if errors.Is(err, bufio.ErrTooLong) {
-		return fmt.Errorf("%s: line %d: line exceeds %d-byte limit: %w",
-			subsystem, line, MaxLineBytes, err)
-	}
-	return fmt.Errorf("%s: line %d: %w", subsystem, line, err)
+	return &Error{Subsystem: subsystem, Line: line, Err: err}
 }

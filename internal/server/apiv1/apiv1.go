@@ -40,7 +40,10 @@ type CreateSessionResponse struct {
 	CacheHit bool `json:"cache_hit"`
 }
 
-// SessionInfo summarizes one live session for list/describe calls.
+// SessionInfo summarizes one live session for list/describe calls. The
+// shape is stable so a router tier can discover and place sessions
+// without scraping: identity, creation time, class/label counts, cache
+// provenance, and durability state.
 type SessionInfo struct {
 	SessionID   string `json:"session_id"`
 	NumTraces   int    `json:"num_traces"`
@@ -54,11 +57,25 @@ type SessionInfo struct {
 	Focus bool `json:"focus,omitempty"`
 	// Parent is the owning session's ID when Focus is true.
 	Parent string `json:"parent,omitempty"`
+	// Created is the session's creation time, RFC 3339 UTC.
+	Created string `json:"created,omitempty"`
+	// CacheHit reports whether the session's lattice came from the
+	// server's cache rather than a fresh build.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Snapshot is the session's durability state: "none" (nothing on
+	// disk), "snapshot" (snapshot current), or "wal" (snapshot plus
+	// write-ahead tail to replay). Empty when persistence is disabled.
+	Snapshot string `json:"snapshot,omitempty"`
+	// Streams counts the open event streams bound to this session.
+	Streams int `json:"streams,omitempty"`
 }
 
-// SessionList is the list-sessions response.
+// SessionList is the list-sessions response, ordered by session ID.
 type SessionList struct {
 	Sessions []SessionInfo `json:"sessions"`
+	// NextCursor resumes a paginated listing: pass it as ?cursor= to get
+	// the next page. Empty on the last page.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // Selector picks a subset of a concept's traces, mirroring
@@ -221,12 +238,126 @@ type LintResponse struct {
 	Clean    bool          `json:"clean"`
 }
 
-// Error is the uniform failure envelope; every non-2xx response body is
-// one of these.
+// OpenStreamRequest opens an online-verification stream bound to a
+// session: events fed to the stream are checked online, and violation
+// traces append into the session's lattice live.
+type OpenStreamRequest struct {
+	// SessionID names the owning session.
+	SessionID string `json:"session_id"`
+	// Spec is the FA to verify against, in the fa text format. Empty
+	// binds the stream to the session's reference FA. The usual shape is
+	// a session whose reference FA is the permissive alphabet automaton
+	// (the lattice vocabulary) with streams checking a stricter candidate
+	// spec — then every violation window is a valid lattice object.
+	Spec string `json:"spec,omitempty"`
+	// Window sizes the violation ring buffer (trailing events retained
+	// for counterexamples). 0 picks the server default.
+	Window int `json:"window,omitempty"`
+}
+
+// OpenStreamResponse reports the new stream.
+type OpenStreamResponse struct {
+	// StreamID is the opaque handle for event batches and finalize.
+	StreamID  string `json:"stream_id"`
+	SessionID string `json:"session_id"`
+	// Window is the effective ring capacity after defaulting/clamping.
+	Window int `json:"window"`
+}
+
+// StreamInfo summarizes one open stream for list/describe calls.
+type StreamInfo struct {
+	StreamID  string `json:"stream_id"`
+	SessionID string `json:"session_id"`
+	// Created is the stream's open time, RFC 3339 UTC.
+	Created string `json:"created,omitempty"`
+	// Spec names the FA this stream verifies against.
+	Spec   string `json:"spec,omitempty"`
+	Window int    `json:"window"`
+	// Events is the total number of events the stream has consumed.
+	Events uint64 `json:"events"`
+	// Violations counts the violations detected so far.
+	Violations int `json:"violations"`
+	// Truncations counts events evicted from violation windows.
+	Truncations uint64 `json:"truncations,omitempty"`
+	// Accepting reports whether the events consumed since the last
+	// violation currently form a word the specification accepts — i.e.
+	// finalizing now would be clean.
+	Accepting bool `json:"accepting"`
+}
+
+// StreamList is the list-streams response, ordered by stream ID.
+type StreamList struct {
+	Streams []StreamInfo `json:"streams"`
+	// NextCursor resumes a paginated listing, as in SessionList.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// StreamViolation is one violation surfaced over the stream API. The
+// same trace, labeled with the stream's ID, appears as a class in the
+// owning session's lattice.
+type StreamViolation struct {
+	// Offset is the offending event's 0-based position in the stream (or
+	// the stream's event count for incomplete finalizations).
+	Offset uint64 `json:"offset"`
+	// At is the offending event's index within Trace, or the window
+	// length when the stream finalized mid-protocol.
+	At int `json:"at"`
+	// Trace is the windowed counterexample in trace-key form
+	// ("e1; e2; ...").
+	Trace string `json:"trace"`
+	// Truncated reports the window overflowed: Trace is a suffix of the
+	// violating behaviour.
+	Truncated bool `json:"truncated,omitempty"`
+	// Incomplete marks a finalize-time violation (stream ended without
+	// reaching an accepting state).
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// StreamEventsResponse reports one NDJSON batch with partial-progress
+// semantics: well-formed lines are applied even when others fail, and
+// each failing line comes back as an Error with its line number.
+type StreamEventsResponse struct {
+	// Accepted is the number of events applied from this batch.
+	Accepted int `json:"accepted"`
+	// Events is the stream's total consumed count after the batch.
+	Events uint64 `json:"events"`
+	// Violations lists the violations this batch triggered, in stream
+	// order.
+	Violations []StreamViolation `json:"violations,omitempty"`
+	// NewClasses is how many violation traces started a new class in the
+	// owning session's lattice.
+	NewClasses int `json:"new_classes,omitempty"`
+	// Errors lists the rejected lines (code "bad_request", line set).
+	Errors []Error `json:"errors,omitempty"`
+}
+
+// CloseStreamResponse reports a stream's finalization.
+type CloseStreamResponse struct {
+	// Events and ViolationTotal are the stream's lifetime counts.
+	Events uint64 `json:"events"`
+	// ViolationTotal includes a final incomplete-stream violation, if any.
+	ViolationTotal int `json:"violation_total"`
+	// Violation is the finalize-time violation when the stream ended
+	// mid-protocol; nil when the stream closed clean.
+	Violation *StreamViolation `json:"violation,omitempty"`
+}
+
+// Error is the uniform failure envelope; every non-2xx response body on
+// every v1 endpoint is exactly one of these, and the stream ingest
+// endpoint reuses it for per-line errors.
 type Error struct {
 	// Code is a stable machine-readable slug: "bad_request", "not_found",
-	// "conflict", "timeout", or "internal".
+	// "session_busy", "deadline", "draining", "validation_failed", or
+	// "internal". Codes are API surface — new failures may add codes, but
+	// existing codes never change meaning.
 	Code string `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`
+	// Line is the 1-based input line the failure is anchored to, for
+	// line-oriented request bodies (traces, FAs, NDJSON events). 0 when
+	// the failure has no line.
+	Line int `json:"line,omitempty"`
+	// Detail carries optional machine-readable context beyond the code,
+	// e.g. the subsystem that rejected a line.
+	Detail string `json:"detail,omitempty"`
 }

@@ -38,12 +38,20 @@ var goldens = []struct {
 		Done:        false,
 		Focus:       true,
 		Parent:      "0123456789abcdef0123456789abcdef",
+		Created:     "2026-08-08T12:00:00Z",
+		CacheHit:    true,
+		Snapshot:    "wal",
+		Streams:     2,
 	}},
-	{"session_list", SessionList{Sessions: []SessionInfo{{
-		SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
-		NumTraces:   6,
-		NumConcepts: 9,
-	}}}},
+	{"session_list", SessionList{
+		Sessions: []SessionInfo{{
+			SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
+			NumTraces:   6,
+			NumConcepts: 9,
+			Created:     "2026-08-08T12:00:00Z",
+		}},
+		NextCursor: "f00dfeedf00dfeedf00dfeedf00dfeed",
+	}},
 	{"concept", Concept{
 		ID:          3,
 		State:       "PartlyLabeled",
@@ -114,7 +122,70 @@ var goldens = []struct {
 		}},
 		Clean: false,
 	}},
-	{"error", Error{Code: "not_found", Message: `cable: no such concept: 99 (lattice has 9)`}},
+	{"open_stream_request", OpenStreamRequest{
+		SessionID: "f00dfeedf00dfeedf00dfeedf00dfeed",
+		Spec:      "fa stdio\nstates 2\nstart 0\naccept 0\nedge 0 1 X = popen()\nedge 1 0 pclose(X)\nend\n",
+		Window:    64,
+	}},
+	{"open_stream_response", OpenStreamResponse{
+		StreamID:  "deadbeefdeadbeefdeadbeefdeadbeef",
+		SessionID: "f00dfeedf00dfeedf00dfeedf00dfeed",
+		Window:    64,
+	}},
+	{"stream_info", StreamInfo{
+		StreamID:    "deadbeefdeadbeefdeadbeefdeadbeef",
+		SessionID:   "f00dfeedf00dfeedf00dfeedf00dfeed",
+		Created:     "2026-08-08T12:00:00Z",
+		Spec:        "stdio",
+		Window:      64,
+		Events:      1024,
+		Violations:  3,
+		Truncations: 960,
+		Accepting:   true,
+	}},
+	{"stream_list", StreamList{
+		Streams: []StreamInfo{{
+			StreamID:  "deadbeefdeadbeefdeadbeefdeadbeef",
+			SessionID: "f00dfeedf00dfeedf00dfeedf00dfeed",
+			Window:    32,
+			Events:    2,
+			Accepting: false,
+		}},
+		NextCursor: "deadbeefdeadbeefdeadbeefdeadbeef",
+	}},
+	{"stream_events_response", StreamEventsResponse{
+		Accepted: 5,
+		Events:   7,
+		Violations: []StreamViolation{{
+			Offset:    6,
+			At:        2,
+			Trace:     "X = popen(); fread(X); fclose(X)",
+			Truncated: true,
+		}},
+		NewClasses: 1,
+		Errors: []Error{{
+			Code:    "bad_request",
+			Message: `stream: line 3: decoding event line: missing "event" field`,
+			Line:    3,
+			Detail:  "stream",
+		}},
+	}},
+	{"close_stream_response", CloseStreamResponse{
+		Events:         7,
+		ViolationTotal: 2,
+		Violation: &StreamViolation{
+			Offset:     7,
+			At:         1,
+			Trace:      "X = popen()",
+			Incomplete: true,
+		},
+	}},
+	{"error", Error{
+		Code:    "validation_failed",
+		Message: `trace t3 rejected by reference FA at event 2`,
+		Line:    9,
+		Detail:  "trace",
+	}},
 }
 
 func TestGoldens(t *testing.T) {
@@ -212,6 +283,18 @@ func newZero(v any) any {
 		return &LintRequest{}
 	case LintResponse:
 		return &LintResponse{}
+	case OpenStreamRequest:
+		return &OpenStreamRequest{}
+	case OpenStreamResponse:
+		return &OpenStreamResponse{}
+	case StreamInfo:
+		return &StreamInfo{}
+	case StreamList:
+		return &StreamList{}
+	case StreamEventsResponse:
+		return &StreamEventsResponse{}
+	case CloseStreamResponse:
+		return &CloseStreamResponse{}
 	case Error:
 		return &Error{}
 	default:

@@ -19,6 +19,14 @@
 //	              u32 crc32(IEEE, type|len|payload)
 //	    type 1 (label):      payload = str classKey | str label
 //	    type 2 (add-trace):  payload = str traceText (one trace record)
+//	    type 3 (stream):     payload = str streamID | str specFA | u8 closed |
+//	                         u32 window | u64 events | u64 sinceReset |
+//	                         u64 truncations | u32 violations | u8 truncated |
+//	                         u32 nFrontier × u32 stateID |
+//	                         u32 nRing × str eventText
+//	                         (specFA is the checked FA's serialized text,
+//	                         or "" when the stream checks the session's
+//	                         reference FA)
 //
 // str is u32 length + bytes, little-endian throughout. The snapshot is
 // rewritten — and the WAL truncated — whenever the full labeling changes
@@ -30,6 +38,13 @@
 // persisted — a crash mid-focus restores the parent as of the last
 // snapshot plus WAL; the focus's unmerged labels are lost, matching the
 // paper's model of focus sessions as scratch workspaces.
+//
+// Stream records externalize an open online-verification stream's
+// checker (internal/stream.State): every ingest batch appends one, the
+// latest record per stream ID wins on replay, and closed=1 is a
+// tombstone. Because writing a snapshot truncates the WAL, the server
+// re-appends one stream record per open stream right after every
+// snapshot, so open frontiers survive snapshot-then-crash.
 package server
 
 import (
@@ -45,8 +60,10 @@ import (
 
 	"repro/internal/cable"
 	"repro/internal/concept"
+	"repro/internal/event"
 	"repro/internal/fa"
 	"repro/internal/obs"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -56,6 +73,7 @@ const (
 	persistVer    = 1
 	walTypeLbl    = 1
 	walTypeAdd    = 2
+	walTypeStream = 3
 	maxPersistStr = 256 << 20 // matches the request-body ceiling with headroom
 )
 
@@ -298,6 +316,109 @@ func walAddRecord(t trace.Trace) ([]byte, error) {
 	return walRecord(walTypeAdd, p.Bytes()), nil
 }
 
+// walStreamRecord externalizes one open stream's checker state (or its
+// tombstone when closed).
+func walStreamRecord(streamID, spec string, closed bool, st stream.State) []byte {
+	var p bytes.Buffer
+	putStr(&p, streamID)
+	putStr(&p, spec)
+	if closed {
+		p.WriteByte(1)
+	} else {
+		p.WriteByte(0)
+	}
+	putU32(&p, uint32(st.Window))
+	putU64(&p, st.Events)
+	putU64(&p, st.SinceReset)
+	putU64(&p, st.Truncations)
+	putU32(&p, uint32(st.Violations))
+	if st.Truncated {
+		p.WriteByte(1)
+	} else {
+		p.WriteByte(0)
+	}
+	putU32(&p, uint32(len(st.Frontier)))
+	for _, q := range st.Frontier {
+		putU32(&p, uint32(q))
+	}
+	putU32(&p, uint32(len(st.Ring)))
+	for _, e := range st.Ring {
+		putStr(&p, e.String())
+	}
+	return walRecord(walTypeStream, p.Bytes())
+}
+
+// parseStreamPayload decodes a type-3 payload back into checker state.
+func parseStreamPayload(pc *byteCursor) (streamID, spec string, closed bool, st stream.State, err error) {
+	fail := func(e error) (string, string, bool, stream.State, error) {
+		return "", "", false, stream.State{}, e
+	}
+	if streamID, err = pc.str(); err != nil {
+		return fail(err)
+	}
+	if spec, err = pc.str(); err != nil {
+		return fail(err)
+	}
+	cb, err := pc.u8()
+	if err != nil {
+		return fail(err)
+	}
+	closed = cb != 0
+	w, err := pc.u32()
+	if err != nil {
+		return fail(err)
+	}
+	st.Window = int(w)
+	if st.Events, err = pc.u64(); err != nil {
+		return fail(err)
+	}
+	if st.SinceReset, err = pc.u64(); err != nil {
+		return fail(err)
+	}
+	if st.Truncations, err = pc.u64(); err != nil {
+		return fail(err)
+	}
+	v, err := pc.u32()
+	if err != nil {
+		return fail(err)
+	}
+	st.Violations = int(v)
+	tb, err := pc.u8()
+	if err != nil {
+		return fail(err)
+	}
+	st.Truncated = tb != 0
+	nf, err := pc.u32()
+	if err != nil || nf > uint32(stream.MaxWindow)*1024 {
+		return fail(errors.New("bad frontier count"))
+	}
+	st.Frontier = make([]int, 0, min(int(nf), 4096))
+	for i := 0; i < int(nf); i++ {
+		q, err := pc.u32()
+		if err != nil {
+			return fail(err)
+		}
+		st.Frontier = append(st.Frontier, int(q))
+	}
+	nr, err := pc.u32()
+	if err != nil || nr > uint32(stream.MaxWindow) {
+		return fail(errors.New("bad ring count"))
+	}
+	st.Ring = make([]event.Event, 0, int(nr))
+	for i := 0; i < int(nr); i++ {
+		text, err := pc.str()
+		if err != nil {
+			return fail(err)
+		}
+		ev, err := event.Parse(text)
+		if err != nil {
+			return fail(err)
+		}
+		st.Ring = append(st.Ring, ev)
+	}
+	return streamID, spec, closed, st, nil
+}
+
 // appendWAL appends framed records to the session's log, creating it
 // (with its header) on first use. Callers hold the session's entry lock,
 // which serializes appends per session.
@@ -329,6 +450,12 @@ type walAction struct {
 	key   string // label records
 	label string // label records
 	text  string // add records
+
+	// stream records
+	streamID     string
+	streamSpec   string
+	streamClosed bool
+	streamState  stream.State
 }
 
 // parseWAL decodes records until the data ends or a record fails its CRC
@@ -377,6 +504,12 @@ func parseWAL(data []byte) []walAction {
 				return out
 			}
 			out = append(out, walAction{typ: typ, text: text})
+		case walTypeStream:
+			sid, spec, closed, sst, err := parseStreamPayload(pc)
+			if err != nil || pc.off != len(payload) {
+				return out
+			}
+			out = append(out, walAction{typ: typ, streamID: sid, streamSpec: spec, streamClosed: closed, streamState: sst})
 		default:
 			// Unknown record type: written by a newer version; stop
 			// rather than misinterpret what follows.
@@ -391,6 +524,19 @@ func parseWAL(data []byte) []walAction {
 func (p *persister) removeFiles(id string) {
 	_ = os.Remove(p.snapPath(id))
 	_ = os.Remove(p.walPath(id))
+}
+
+// state reports a session's durability form for introspection: "wal"
+// (snapshot plus a write-ahead tail), "snapshot" (snapshot only), or
+// "none".
+func (p *persister) state(id string) string {
+	if _, err := os.Stat(p.walPath(id)); err == nil {
+		return "wal"
+	}
+	if _, err := os.Stat(p.snapPath(id)); err == nil {
+		return "snapshot"
+	}
+	return "none"
 }
 
 // --- server lifecycle hooks ---
@@ -471,14 +617,53 @@ func (s *Server) loadOne(ctx context.Context, id string) error {
 			return fmt.Errorf("server: snapshot %s: %w", id, err)
 		}
 	}
+	var actions []walAction
 	if wdata, err := os.ReadFile(s.persist.walPath(id)); err == nil {
-		replayed, err := replayWAL(ctx, sess, parseWAL(wdata))
+		actions = parseWAL(wdata)
+		replayed, err := replayWAL(ctx, sess, actions)
 		if err != nil {
 			return fmt.Errorf("server: snapshot %s: wal: %w", id, err)
 		}
 		s.metrics.Counter("server.snapshot.replay").Add(int64(replayed))
 	}
-	return s.store.restore(id, sess)
+	if err := s.store.restore(id, sess); err != nil {
+		return err
+	}
+	// Re-open the session's streams from their latest stream records
+	// (closed records are tombstones). A record that no longer matches
+	// the reference FA — e.g. a frontier state out of range — loses that
+	// stream only, not the session.
+	latest := map[string]walAction{}
+	for _, a := range actions {
+		if a.typ == walTypeStream {
+			latest[a.streamID] = a
+		}
+	}
+	for sid, a := range latest {
+		if a.streamClosed {
+			continue
+		}
+		sim := sess.Ref().Sim()
+		specName := sess.Ref().Name()
+		if a.streamSpec != "" {
+			spec, err := fa.Read(strings.NewReader(a.streamSpec))
+			if err != nil {
+				s.metrics.Counter("server.snapshot.load_errors").Inc()
+				continue
+			}
+			sim = spec.Sim()
+			specName = spec.Name()
+		}
+		chk, err := stream.Restore(sim, a.streamState)
+		if err != nil {
+			s.metrics.Counter("server.snapshot.load_errors").Inc()
+			continue
+		}
+		if err := s.store.restoreStream(sid, id, a.streamSpec, specName, chk); err != nil {
+			s.metrics.Counter("server.snapshot.load_errors").Inc()
+		}
+	}
+	return nil
 }
 
 // replayWAL applies logged actions to a restored session, in order.
@@ -496,6 +681,10 @@ func replayWAL(ctx context.Context, sess *cable.Session, actions []walAction) (i
 			if err := sess.LabelTrace(i, cable.Label(a.label)); err != nil {
 				return n, err
 			}
+		case walTypeStream:
+			// Stream state is restored separately (loadOne): the record
+			// describes a checker, not a session action.
+			continue
 		case walTypeAdd:
 			ts, err := trace.Read(strings.NewReader(a.text))
 			if err != nil {
@@ -516,9 +705,30 @@ func replayWAL(ctx context.Context, sess *cable.Session, actions []walAction) (i
 	return n, nil
 }
 
+// snapshotSession persists a session's full snapshot and then re-appends
+// one stream record per open stream: writeSnap truncates the WAL, which
+// would otherwise lose the open frontiers. Callers hold e.mu (lock order
+// entry → stream is the sanctioned nesting; see streamEntry).
+func (s *Server) snapshotSession(e *entry) error {
+	if err := s.persist.writeSnap(e.id, e.session); err != nil {
+		return err
+	}
+	var recs [][]byte
+	for _, se := range s.store.streamsOf(e.id) {
+		se.mu.Lock()
+		if !se.closed {
+			recs = append(recs, walStreamRecord(se.id, se.spec, false, se.checker.State()))
+		}
+		se.mu.Unlock()
+	}
+	return s.persist.appendWAL(e.id, recs)
+}
+
 // SaveSnapshots writes a fresh snapshot for every live session — the
 // graceful-drain counterpart of LoadSnapshots — and returns how many it
 // saved. Idle-evicted and deleted sessions have no files left to write.
+// Open streams ride along as WAL stream records, so a restart resumes
+// them mid-protocol.
 func (s *Server) SaveSnapshots() (int, error) {
 	if s.persist == nil {
 		return 0, nil
@@ -527,7 +737,7 @@ func (s *Server) SaveSnapshots() (int, error) {
 	var firstErr error
 	for _, e := range s.store.list() {
 		e.mu.Lock()
-		err := s.persist.writeSnap(e.id, e.session)
+		err := s.snapshotSession(e)
 		e.mu.Unlock()
 		if err != nil {
 			if firstErr == nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cable"
 	"repro/internal/fa"
 	"repro/internal/obs"
+	"repro/internal/scanio"
 	"repro/internal/server/apiv1"
 	"repro/internal/trace"
 )
@@ -97,6 +98,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/focus", s.instrument("focus", s.handleFocus))
 	mux.HandleFunc("POST /v1/sessions/{id}/end", s.instrument("end_focus", s.handleEndFocus))
 	mux.HandleFunc("GET /v1/sessions/{id}/labels", s.instrument("export_labels", s.handleExportLabels))
+	mux.HandleFunc("POST /v1/streams", s.instrument("open_stream", s.handleOpenStream))
+	mux.HandleFunc("GET /v1/streams", s.instrument("list_streams", s.handleListStreams))
+	mux.HandleFunc("GET /v1/streams/{id}", s.instrument("get_stream", s.handleGetStream))
+	mux.HandleFunc("POST /v1/streams/{id}/events", s.instrument("stream_events", s.handleStreamEvents))
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("close_stream", s.handleCloseStream))
 	mux.HandleFunc("POST /v1/lint", s.instrument("lint", s.handleLint))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
@@ -177,13 +183,22 @@ func notFound(err error) error {
 	return &httpError{status: http.StatusNotFound, code: "not_found", err: err}
 }
 
-func conflict(err error) error {
-	return &httpError{status: http.StatusConflict, code: "conflict", err: err}
+// sessionBusy marks work refused because of the session's current state
+// (e.g. suggesting a focus for a concept that is not mixed).
+func sessionBusy(err error) error {
+	return &httpError{status: http.StatusConflict, code: "session_busy", err: err}
+}
+
+// validationFailed marks inputs that parsed fine but were rejected by
+// the session's reference FA.
+func validationFailed(err error) error {
+	return &httpError{status: http.StatusUnprocessableEntity, code: "validation_failed", err: err}
 }
 
 // classify maps domain errors that handlers pass through untouched:
-// cable's sentinel errors to 404, context errors to timeout/shutdown
-// statuses, everything else to 500.
+// cable's sentinel errors to 404, context errors to deadline/drain
+// statuses, everything else to 500. The codes are the stable v1 set
+// documented on apiv1.Error.
 func classify(err error) (status int, code string) {
 	var he *httpError
 	switch {
@@ -192,17 +207,30 @@ func classify(err error) (status int, code string) {
 	case errors.Is(err, cable.ErrBadConcept), errors.Is(err, cable.ErrBadTrace):
 		return http.StatusNotFound, "not_found"
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "timeout"
+		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable, "cancelled"
+		return http.StatusServiceUnavailable, "draining"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
 }
 
+// errorEnvelope renders a classified handler error into the uniform
+// envelope, anchoring line-located failures (scanio.Error anywhere in
+// the chain) to their input line.
+func errorEnvelope(code string, err error) apiv1.Error {
+	env := apiv1.Error{Code: code, Message: err.Error()}
+	var se *scanio.Error
+	if errors.As(err, &se) {
+		env.Line = se.Line
+		env.Detail = se.Subsystem
+	}
+	return env
+}
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := classify(err)
-	writeJSON(w, status, apiv1.Error{Code: code, Message: err.Error()})
+	writeJSON(w, status, errorEnvelope(code, err))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -326,7 +354,7 @@ func (s *Server) handleCreateSession(ctx context.Context, w http.ResponseWriter,
 		s.cache.Put(key, sess.Lattice())
 		shared = true
 	}
-	id, err := s.store.add(sess, shared)
+	id, err := s.store.add(sess, shared, hit)
 	if err != nil {
 		return err
 	}
@@ -362,24 +390,67 @@ func (s *Server) sessionInfo(e *entry, sess *cable.Session, focus bool, id strin
 		Labeled:     labeled,
 		Done:        sess.Done(),
 		Focus:       focus,
+		Created:     e.created.UTC().Format(time.RFC3339),
+		CacheHit:    e.cacheHit,
 	}
 	if focus {
 		info.Parent = e.id
+	} else {
+		info.Streams = len(s.store.streamsOf(e.id))
+		if s.persist != nil {
+			info.Snapshot = s.persist.state(e.id)
+		}
 	}
 	return info
 }
 
+// pageParams parses the shared ?cursor= / ?limit= pagination query
+// parameters. cursor is the last ID of the previous page (exclusive);
+// limit 0 means no cap.
+func pageParams(r *http.Request) (cursor string, limit int, err error) {
+	q := r.URL.Query()
+	cursor = q.Get("cursor")
+	if ls := q.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			return "", 0, badRequest(fmt.Errorf("limit: not a non-negative integer: %q", ls))
+		}
+	}
+	return cursor, limit, nil
+}
+
+// page applies cursor+limit to an ID-sorted slice and returns the page
+// plus the next cursor ("" on the last page).
+func page[T any](items []T, id func(T) string, cursor string, limit int) ([]T, string) {
+	start := 0
+	if cursor != "" {
+		for start < len(items) && id(items[start]) <= cursor {
+			start++
+		}
+	}
+	items = items[start:]
+	if limit > 0 && len(items) > limit {
+		return items[:limit:limit], id(items[limit-1])
+	}
+	return items, ""
+}
+
 func (s *Server) handleListSessions(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		return err
+	}
 	entries := s.store.list()
-	list := apiv1.SessionList{Sessions: []apiv1.SessionInfo{}}
+	infos := make([]apiv1.SessionInfo, 0, len(entries))
 	for _, e := range entries {
 		e.mu.Lock()
-		list.Sessions = append(list.Sessions, s.sessionInfo(e, e.session, false, e.id))
+		infos = append(infos, s.sessionInfo(e, e.session, false, e.id))
 		e.mu.Unlock()
 	}
-	// Map iteration order is random; pin a stable listing.
-	sortSessions(list.Sessions)
-	writeJSON(w, http.StatusOK, list)
+	// Map iteration order is random; pin a stable listing before paging.
+	sortSessions(infos)
+	pageInfos, next := page(infos, func(i apiv1.SessionInfo) string { return i.SessionID }, cursor, limit)
+	writeJSON(w, http.StatusOK, apiv1.SessionList{Sessions: pageInfos, NextCursor: next})
 	return nil
 }
 
@@ -593,7 +664,7 @@ func (s *Server) handleAddTraces(ctx context.Context, w http.ResponseWriter, r *
 		ref := sess.Ref()
 		for _, cl := range in.Classes() {
 			if _, ok := ref.Executed(cl.Rep); !ok {
-				return 0, nil, badRequest(fmt.Errorf("reference FA %q rejects trace %q", ref.Name(), cl.Rep.ID))
+				return 0, nil, validationFailed(fmt.Errorf("reference FA %q rejects trace %q", ref.Name(), cl.Rep.ID))
 			}
 		}
 		if e.latticeShared {
@@ -650,7 +721,7 @@ func (s *Server) handleSuggest(ctx context.Context, w http.ResponseWriter, r *ht
 			if errors.Is(err, cable.ErrBadConcept) {
 				return 0, nil, err
 			}
-			return 0, nil, conflict(err)
+			return 0, nil, sessionBusy(err)
 		}
 		var b strings.Builder
 		if err := fa.Write(&b, sug.Ref); err != nil {
@@ -721,8 +792,9 @@ func (s *Server) handleEndFocus(ctx context.Context, w http.ResponseWriter, r *h
 		if s.persist != nil {
 			// The merge changed parent labels outside the WAL's record
 			// vocabulary only in bulk; a fresh snapshot (which also
-			// truncates the WAL) is the simplest durable form.
-			if err := s.persist.writeSnap(res.entry.id, res.entry.session); err != nil {
+			// truncates the WAL) is the simplest durable form. Stream
+			// records ride along so truncation doesn't lose them.
+			if err := s.snapshotSession(res.entry); err != nil {
 				s.metrics.Counter("server.snapshot.errors").Inc()
 			}
 		}

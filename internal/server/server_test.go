@@ -20,7 +20,7 @@ import (
 
 // violationFixture serializes the Section 2.1 violation traces and a
 // one-state reference FA into the text formats the API accepts.
-func violationFixture(t *testing.T) apiv1.CreateSessionRequest {
+func violationFixture(t testing.TB) apiv1.CreateSessionRequest {
 	t.Helper()
 	set := trace.NewSet(
 		trace.ParseEvents("v0", "X = popen()", "pclose(X)"),
@@ -34,7 +34,7 @@ func violationFixture(t *testing.T) apiv1.CreateSessionRequest {
 	return fixtureFrom(t, set)
 }
 
-func fixtureFrom(t *testing.T, set *trace.Set) apiv1.CreateSessionRequest {
+func fixtureFrom(t testing.TB, set *trace.Set) apiv1.CreateSessionRequest {
 	t.Helper()
 	var traces, ref strings.Builder
 	if err := trace.Write(&traces, set); err != nil {
@@ -48,12 +48,12 @@ func fixtureFrom(t *testing.T, set *trace.Set) apiv1.CreateSessionRequest {
 
 // client wraps an httptest server with JSON helpers.
 type client struct {
-	t    *testing.T
+	t    testing.TB
 	base string
 	http *http.Client
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *client) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *client) {
 	t.Helper()
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
@@ -348,7 +348,8 @@ func TestAddTraces(t *testing.T) {
 		t.Fatalf("incremental lattice has %d concepts, rebuild has %d", novel.NumConcepts, rebuilt.NumConcepts)
 	}
 
-	// A trace the reference FA rejects fails the whole batch atomically.
+	// A trace the reference FA rejects fails the whole batch atomically:
+	// well-formed input, semantically invalid → validation_failed.
 	var apiErr apiv1.Error
 	bad := trace.NewSet(
 		trace.ParseEvents("ok", "X = popen()"),
@@ -358,8 +359,11 @@ func TestAddTraces(t *testing.T) {
 	if err := trace.Write(&text, bad); err != nil {
 		t.Fatal(err)
 	}
-	if code := c.do("POST", "/v1/sessions/"+sid+"/traces", apiv1.AddTracesRequest{Traces: text.String()}, &apiErr); code != 400 {
-		t.Fatalf("rejected trace: status %d, want 400", code)
+	if code := c.do("POST", "/v1/sessions/"+sid+"/traces", apiv1.AddTracesRequest{Traces: text.String()}, &apiErr); code != 422 {
+		t.Fatalf("rejected trace: status %d, want 422", code)
+	}
+	if apiErr.Code != "validation_failed" {
+		t.Fatalf("rejected trace: code %q, want validation_failed", apiErr.Code)
 	}
 	var info apiv1.SessionInfo
 	if code := c.do("GET", "/v1/sessions/"+sid, nil, &info); code != 200 {
@@ -539,8 +543,8 @@ func TestMidBuildCancellation(t *testing.T) {
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 (build too fast? grow the fixture)", code)
 	}
-	if apiErr.Code != "timeout" {
-		t.Errorf("error code = %q, want timeout", apiErr.Code)
+	if apiErr.Code != "deadline" {
+		t.Errorf("error code = %q, want deadline", apiErr.Code)
 	}
 	if n := len(srv.store.list()); n != 0 {
 		t.Errorf("%d sessions registered after cancelled build", n)
@@ -550,38 +554,66 @@ func TestMidBuildCancellation(t *testing.T) {
 	}
 }
 
+// TestErrorMapping pins the v1 error contract: each failure mode maps to
+// a stable (status, code) pair. Codes are API surface — changing one is a
+// breaking change, so every stable code gets a row here. The deadline
+// (504) mapping is exercised by TestMidBuildCancellation, which needs a
+// slow build to trigger it.
 func TestErrorMapping(t *testing.T) {
 	_, c := newTestServer(t, Config{CacheSize: 4})
 	created := c.mustCreate(violationFixture(t))
 	sid := created.SessionID
-
-	var apiErr apiv1.Error
-	check := func(name string, got, want int, wantCode string) {
-		t.Helper()
-		if got != want || apiErr.Code != wantCode {
-			t.Errorf("%s: status %d code %q, want %d %q", name, got, apiErr.Code, want, wantCode)
-		}
-		apiErr = apiv1.Error{}
-	}
-
-	check("unknown session",
-		c.do("GET", "/v1/sessions/deadbeef", nil, &apiErr), 404, "not_found")
-	check("bad concept id",
-		c.do("GET", "/v1/sessions/"+sid+"/concepts/9999", nil, &apiErr), 404, "not_found")
 	bad := 9999
-	check("label bad trace",
-		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &bad, Label: "good"}, &apiErr), 404, "not_found")
-	check("label without target",
-		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Label: "good"}, &apiErr), 400, "bad_request")
-	check("malformed traces",
-		c.do("POST", "/v1/sessions", apiv1.CreateSessionRequest{Traces: "trace x\nnot an event\nend\n", RefFA: "gibberish"}, &apiErr), 400, "bad_request")
-	check("bad selector",
-		c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{
-			Concept: &created.Top, Selector: &apiv1.Selector{Mode: "sideways"}, Label: "good"}, &apiErr), 400, "bad_request")
-	check("end non-focus",
-		c.do("POST", "/v1/sessions/"+sid+"/end", nil, &apiErr), 404, "not_found")
-	check("suggest unmixed concept",
-		c.do("POST", "/v1/sessions/"+sid+"/suggest", apiv1.SuggestRequest{Concept: created.Top}, &apiErr), 409, "conflict")
+
+	rejected := apiv1.AddTracesRequest{
+		Traces: "trace nope\n  launch_missiles(X)\nend\n",
+	}
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     any
+		status   int
+		code     string
+		wantLine int
+	}{
+		{"unknown session", "GET", "/v1/sessions/deadbeef", nil, 404, "not_found", 0},
+		{"bad concept id", "GET", "/v1/sessions/" + sid + "/concepts/9999", nil, 404, "not_found", 0},
+		{"label bad trace", "POST", "/v1/sessions/" + sid + "/label",
+			apiv1.LabelRequest{Trace: &bad, Label: "good"}, 404, "not_found", 0},
+		{"label without target", "POST", "/v1/sessions/" + sid + "/label",
+			apiv1.LabelRequest{Label: "good"}, 400, "bad_request", 0},
+		{"malformed traces", "POST", "/v1/sessions",
+			apiv1.CreateSessionRequest{Traces: "trace x\nnot an event\nend\n", RefFA: "gibberish"}, 400, "bad_request", 2},
+		{"bad selector", "POST", "/v1/sessions/" + sid + "/label",
+			apiv1.LabelRequest{Concept: &created.Top, Selector: &apiv1.Selector{Mode: "sideways"}, Label: "good"}, 400, "bad_request", 0},
+		{"end non-focus", "POST", "/v1/sessions/" + sid + "/end", nil, 404, "not_found", 0},
+		{"suggest unmixed concept", "POST", "/v1/sessions/" + sid + "/suggest",
+			apiv1.SuggestRequest{Concept: created.Top}, 409, "session_busy", 0},
+		{"ref-rejected trace", "POST", "/v1/sessions/" + sid + "/traces",
+			rejected, 422, "validation_failed", 0},
+		{"unknown stream", "GET", "/v1/streams/deadbeef", nil, 404, "not_found", 0},
+		{"stream on unknown session", "POST", "/v1/streams",
+			apiv1.OpenStreamRequest{SessionID: "deadbeef"}, 404, "not_found", 0},
+		{"stream without session", "POST", "/v1/streams",
+			apiv1.OpenStreamRequest{}, 400, "bad_request", 0},
+		{"bad pagination limit", "GET", "/v1/sessions?limit=-1", nil, 400, "bad_request", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var apiErr apiv1.Error
+			got := c.do(tc.method, tc.path, tc.body, &apiErr)
+			if got != tc.status || apiErr.Code != tc.code {
+				t.Errorf("status %d code %q, want %d %q", got, apiErr.Code, tc.status, tc.code)
+			}
+			if apiErr.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (message %q)", apiErr.Line, tc.wantLine, apiErr.Message)
+			}
+			if apiErr.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
 }
 
 func TestSuggestRoundTrip(t *testing.T) {

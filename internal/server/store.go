@@ -4,11 +4,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/cable"
 	"repro/internal/obs"
+	"repro/internal/stream"
 )
 
 // entry is one hosted debugging session plus its open Focus sub-sessions.
@@ -31,11 +33,38 @@ type entry struct {
 	// the cache keeps serving the pristine lattice to later uploads of
 	// the same corpus. Guarded by mu.
 	latticeShared bool
+	// created and cacheHit are immutable after insert: the session's
+	// creation time and whether its lattice came from the server cache.
+	created  time.Time
+	cacheHit bool
 
 	// lastUsed is guarded by the store's mutex (not the entry's): the
 	// janitor must read it without taking every session lock, and touch
 	// happens on the store-locked resolve path anyway.
 	lastUsed time.Time
+}
+
+// streamEntry is one open online-verification stream bound to a session.
+// Its own mutex serializes event batches per stream; distinct streams
+// (even on one session) ingest in parallel. Lock nesting order is
+// entry.mu → streamEntry.mu (snapshotting holds a session's entry lock
+// while reading its streams' states); the ingest path holds neither lock
+// while acquiring the other, so the one-way order is never inverted.
+type streamEntry struct {
+	mu      sync.Mutex
+	id      string
+	ownerID string // owning top-level session's ID; immutable
+	created time.Time
+	// spec is the checked FA's serialized text when the stream verifies a
+	// spec other than the owning session's reference FA, "" otherwise;
+	// specName is the checked FA's name either way. Both immutable.
+	spec     string
+	specName string
+	checker  *stream.Checker
+	// closed marks a stream whose owning session was deleted or evicted
+	// out from under it; later batches fail instead of checking against
+	// a session that no longer exists. Guarded by mu.
+	closed bool
 }
 
 // store owns the session table. Its RWMutex guards only the table and the
@@ -46,8 +75,12 @@ type store struct {
 	// focusParent maps a focus-session ID to its parent entry, so focus
 	// IDs resolve through the same lookup as top-level sessions.
 	focusParent map[string]*entry
-	metrics     *obs.Metrics
-	now         func() time.Time // injectable for eviction tests
+	// streams maps stream IDs to their entries. Streams live and die
+	// with their owning session: deleting or evicting a session closes
+	// its streams.
+	streams map[string]*streamEntry
+	metrics *obs.Metrics
+	now     func() time.Time // injectable for eviction tests
 	// onEvict, when set, runs with the ID of every session that leaves
 	// the table (delete or idle eviction), outside all locks; the server
 	// uses it to delete the session's snapshot and WAL files.
@@ -58,6 +91,7 @@ func newStore(m *obs.Metrics) *store {
 	return &store{
 		entries:     make(map[string]*entry),
 		focusParent: make(map[string]*entry),
+		streams:     make(map[string]*streamEntry),
 		metrics:     m,
 		now:         time.Now,
 	}
@@ -74,13 +108,21 @@ func newID() (string, error) {
 
 // add registers a session and returns its new ID. latticeShared records
 // whether the session's lattice is also referenced by the lattice cache
-// (see entry.latticeShared).
-func (st *store) add(s *cable.Session, latticeShared bool) (string, error) {
+// (see entry.latticeShared); cacheHit whether the lattice was served
+// from that cache.
+func (st *store) add(s *cable.Session, latticeShared, cacheHit bool) (string, error) {
 	id, err := newID()
 	if err != nil {
 		return "", err
 	}
-	st.insert(&entry{id: id, session: s, latticeShared: latticeShared, focuses: make(map[string]*cable.Focus)})
+	st.insert(&entry{
+		id:            id,
+		session:       s,
+		latticeShared: latticeShared,
+		cacheHit:      cacheHit,
+		created:       st.now(),
+		focuses:       make(map[string]*cable.Focus),
+	})
 	st.metrics.Counter("server.sessions.created").Inc()
 	return id, nil
 }
@@ -95,7 +137,7 @@ func (st *store) restore(id string, s *cable.Session) error {
 	if dup {
 		return fmt.Errorf("server: restoring session %q: ID already live", id)
 	}
-	st.insert(&entry{id: id, session: s, focuses: make(map[string]*cable.Focus)})
+	st.insert(&entry{id: id, session: s, created: st.now(), focuses: make(map[string]*cable.Focus)})
 	return nil
 }
 
@@ -186,6 +228,7 @@ func (st *store) remove(id string) bool {
 	}
 	st.mu.Unlock()
 	st.metrics.Counter("server.sessions.deleted").Inc()
+	st.closeStreamsOf(id)
 	if st.onEvict != nil {
 		st.onEvict(id)
 	}
@@ -198,6 +241,122 @@ func (st *store) dropFocus(e *entry, fid string) {
 	st.mu.Lock()
 	delete(st.focusParent, fid)
 	st.mu.Unlock()
+}
+
+// addStream registers an open stream under a fresh ID. The owner must be
+// a live top-level session.
+func (st *store) addStream(ownerID, spec, specName string, c *stream.Checker) (*streamEntry, error) {
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	se := &streamEntry{id: id, ownerID: ownerID, spec: spec, specName: specName, checker: c}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[ownerID]; !ok {
+		return nil, fmt.Errorf("server: no session %q", ownerID)
+	}
+	se.created = st.now()
+	st.streams[id] = se
+	st.metrics.Counter("server.streams.opened").Inc()
+	st.metrics.Gauge("server.streams.live").Set(int64(len(st.streams)))
+	return se, nil
+}
+
+// restoreStream re-registers a stream under its pre-crash ID.
+func (st *store) restoreStream(id, ownerID, spec, specName string, c *stream.Checker) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.streams[id]; dup {
+		return fmt.Errorf("server: restoring stream %q: ID already live", id)
+	}
+	if _, ok := st.entries[ownerID]; !ok {
+		return fmt.Errorf("server: restoring stream %q: no session %q", id, ownerID)
+	}
+	st.streams[id] = &streamEntry{id: id, ownerID: ownerID, spec: spec, specName: specName, created: st.now(), checker: c}
+	st.metrics.Gauge("server.streams.live").Set(int64(len(st.streams)))
+	return nil
+}
+
+// resolveStream looks up a stream and bumps its owning session's idle
+// clock — a session with active streams is in use even if no session
+// endpoint is being called.
+func (st *store) resolveStream(id string) (*streamEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	se, ok := st.streams[id]
+	if !ok {
+		return nil, false
+	}
+	if e, ok := st.entries[se.ownerID]; ok {
+		e.lastUsed = st.now()
+	}
+	return se, true
+}
+
+// removeStream unregisters a stream (finalize). The caller finalizes the
+// checker; the entry is returned so it can.
+func (st *store) removeStream(id string) (*streamEntry, bool) {
+	st.mu.Lock()
+	se, ok := st.streams[id]
+	if ok {
+		delete(st.streams, id)
+		st.metrics.Gauge("server.streams.live").Set(int64(len(st.streams)))
+	}
+	st.mu.Unlock()
+	if ok {
+		st.metrics.Counter("server.streams.finalized").Inc()
+	}
+	return se, ok
+}
+
+// streamsOf snapshots the streams owned by one session, ordered by ID.
+// Safe to call while holding the owner's entry lock (order entry→store).
+func (st *store) streamsOf(ownerID string) []*streamEntry {
+	st.mu.RLock()
+	var out []*streamEntry
+	for _, se := range st.streams {
+		if se.ownerID == ownerID {
+			out = append(out, se)
+		}
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// listStreams snapshots all open streams, ordered by ID.
+func (st *store) listStreams() []*streamEntry {
+	st.mu.RLock()
+	out := make([]*streamEntry, 0, len(st.streams))
+	for _, se := range st.streams {
+		out = append(out, se)
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// closeStreamsOf unregisters and closes every stream of a dead session.
+// Runs outside all other locks (after the session left the table); a
+// batch in flight on one of these streams finishes its feed and then
+// finds the owner gone.
+func (st *store) closeStreamsOf(ownerID string) {
+	st.mu.Lock()
+	var dead []*streamEntry
+	for id, se := range st.streams {
+		if se.ownerID == ownerID {
+			dead = append(dead, se)
+			delete(st.streams, id)
+		}
+	}
+	st.metrics.Gauge("server.streams.live").Set(int64(len(st.streams)))
+	st.mu.Unlock()
+	for _, se := range dead {
+		se.mu.Lock()
+		se.closed = true
+		se.mu.Unlock()
+	}
 }
 
 // list snapshots the live top-level session IDs with their entries.
@@ -262,8 +421,11 @@ func (st *store) evictIdle(maxIdle time.Duration) int {
 	if len(evicted) > 0 {
 		st.metrics.Counter("server.sessions.evicted").Add(int64(len(evicted)))
 	}
+	// Stream closure and file cleanup run outside every lock.
+	for _, id := range evicted {
+		st.closeStreamsOf(id)
+	}
 	if st.onEvict != nil {
-		// File cleanup runs outside every lock.
 		for _, id := range evicted {
 			st.onEvict(id)
 		}

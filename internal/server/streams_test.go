@@ -1,0 +1,576 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cable"
+	"repro/internal/concept"
+	"repro/internal/obs"
+	"repro/internal/server/apiv1"
+	"repro/internal/trace"
+)
+
+// stdioSpec is a strict two-state protocol FA over (a subset of) the
+// violationFixture alphabet: popen opens, fread/fwrite use, pclose
+// closes. "X = fopen()" has no edge anywhere, so it kills the frontier.
+const stdioSpec = "fa stdio\n" +
+	"states 2\n" +
+	"start 0\n" +
+	"accept 0\n" +
+	"edge 0 1 X = popen()\n" +
+	"edge 1 1 fread(X)\n" +
+	"edge 1 1 fwrite(X)\n" +
+	"edge 1 0 pclose(X)\n" +
+	"end\n"
+
+// ndjson turns event texts into an NDJSON batch body.
+func ndjson(events ...string) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "{\"event\": %q}\n", e)
+	}
+	return b.String()
+}
+
+// postRaw sends a non-JSON body (NDJSON batches) and decodes the reply.
+func (c *client) postRaw(path, body string, out any) int {
+	c.t.Helper()
+	resp, err := c.http.Post(c.base+path, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("POST %s: decoding %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *client) openStream(sid, spec string, window int) apiv1.OpenStreamResponse {
+	c.t.Helper()
+	var resp apiv1.OpenStreamResponse
+	if code := c.do("POST", "/v1/streams", apiv1.OpenStreamRequest{
+		SessionID: sid, Spec: spec, Window: window,
+	}, &resp); code != http.StatusCreated {
+		c.t.Fatalf("open stream: status %d", code)
+	}
+	return resp
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	m := obs.New()
+	_, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	opened := c.openStream(sid, stdioSpec, 8)
+	if opened.Window != 8 || opened.SessionID != sid {
+		t.Fatalf("open = %+v", opened)
+	}
+	stid := opened.StreamID
+
+	// Session info counts its streams.
+	var sinfo apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+sid, nil, &sinfo); code != 200 || sinfo.Streams != 1 {
+		t.Fatalf("session info: code %d, streams %d, want 1", code, sinfo.Streams)
+	}
+
+	// First batch: a clean protocol round, then fopen kills the frontier.
+	var ev apiv1.StreamEventsResponse
+	if code := c.postRaw("/v1/streams/"+stid+"/events",
+		ndjson("X = popen()", "fread(X)", "pclose(X)", "X = popen()", "X = fopen()"), &ev); code != 200 {
+		t.Fatalf("events: %d", code)
+	}
+	if ev.Accepted != 5 || ev.Events != 5 || len(ev.Errors) != 0 {
+		t.Fatalf("events response = %+v", ev)
+	}
+	if len(ev.Violations) != 1 {
+		t.Fatalf("violations = %+v, want 1", ev.Violations)
+	}
+	v := ev.Violations[0]
+	wantTrace := "X = popen(); fread(X); pclose(X); X = popen(); X = fopen()"
+	if v.Trace != wantTrace || v.At != 4 || v.Offset != 4 || v.Incomplete || v.Truncated {
+		t.Fatalf("violation = %+v, want trace %q at 4", v, wantTrace)
+	}
+	// The windowed counterexample became a new lattice class in the
+	// owning session.
+	if ev.NewClasses != 1 {
+		t.Fatalf("NewClasses = %d, want 1", ev.NewClasses)
+	}
+	var traces apiv1.TraceList
+	if code := c.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatal("list traces")
+	}
+	last := traces.Traces[len(traces.Traces)-1]
+	if last.Key != wantTrace {
+		t.Fatalf("appended class = %q, want %q", last.Key, wantTrace)
+	}
+	if last.Count != 1 {
+		t.Fatalf("appended class count = %d", last.Count)
+	}
+
+	// Stream introspection after the violation: the checker reset to the
+	// start states, which are accepting.
+	var info apiv1.StreamInfo
+	if code := c.do("GET", "/v1/streams/"+stid, nil, &info); code != 200 {
+		t.Fatalf("get stream: %d", code)
+	}
+	if info.Events != 5 || info.Violations != 1 || info.Spec != "stdio" || !info.Accepting {
+		t.Fatalf("stream info = %+v", info)
+	}
+	if info.Created == "" {
+		t.Error("stream info missing created stamp")
+	}
+
+	// Partial progress: bad lines are reported with their line numbers,
+	// good lines around them still apply.
+	if code := c.postRaw("/v1/streams/"+stid+"/events",
+		"{\"event\": \"X = popen()\"}\n"+
+			"{\"evnt\": \"oops\"}\n"+
+			"not json at all\n"+
+			"{\"event\": \"fread(X)\"}\n", &ev); code != 200 {
+		t.Fatalf("partial batch: %d", code)
+	}
+	if ev.Accepted != 2 || len(ev.Errors) != 2 {
+		t.Fatalf("partial response = %+v", ev)
+	}
+	if ev.Errors[0].Line != 2 || ev.Errors[1].Line != 3 {
+		t.Fatalf("error lines = %d, %d, want 2, 3", ev.Errors[0].Line, ev.Errors[1].Line)
+	}
+	for _, e := range ev.Errors {
+		if e.Code != "bad_request" || e.Detail != "stream" {
+			t.Fatalf("line error envelope = %+v", e)
+		}
+	}
+
+	// Finalize mid-protocol: popen+fread left the spec in its non-accepting
+	// use state, so DELETE raises an incomplete violation whose window is
+	// everything since the last reset.
+	var closed apiv1.CloseStreamResponse
+	if code := c.do("DELETE", "/v1/streams/"+stid, nil, &closed); code != 200 {
+		t.Fatalf("close: %d", code)
+	}
+	if closed.Events != 7 || closed.ViolationTotal != 2 {
+		t.Fatalf("close = %+v", closed)
+	}
+	if closed.Violation == nil || !closed.Violation.Incomplete || closed.Violation.Trace != "X = popen(); fread(X)" {
+		t.Fatalf("close violation = %+v", closed.Violation)
+	}
+	if code := c.do("GET", "/v1/streams/"+stid, nil, nil); code != http.StatusNotFound {
+		t.Errorf("closed stream still resolves: %d", code)
+	}
+	if code := c.do("DELETE", "/v1/streams/"+stid, nil, nil); code != http.StatusNotFound {
+		t.Errorf("double close: %d, want 404", code)
+	}
+
+	// Both violations are lattice classes now; the incomplete one too.
+	if code := c.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatal("list traces")
+	}
+	keys := map[string]bool{}
+	for _, tc := range traces.Traces {
+		keys[tc.Key] = true
+	}
+	if !keys[wantTrace] || !keys["X = popen(); fread(X)"] {
+		t.Fatalf("violation classes missing from session: %v", keys)
+	}
+
+	if got := m.Counter("server.stream.events").Value(); got != 7 {
+		t.Errorf("server.stream.events = %d, want 7", got)
+	}
+	if got := m.Counter("server.streams.opened").Value(); got != 1 {
+		t.Errorf("server.streams.opened = %d, want 1", got)
+	}
+	if got := m.Counter("server.streams.finalized").Value(); got != 1 {
+		t.Errorf("server.streams.finalized = %d, want 1", got)
+	}
+	if got := m.Counter("server.stream.violations").Value(); got != 2 {
+		t.Errorf("server.stream.violations = %d, want 2", got)
+	}
+}
+
+// TestStreamDefaultSpec: with no explicit spec the stream checks the
+// session's reference FA. Violations of the reference FA itself cannot
+// become lattice objects (the reference rejects them by definition) —
+// they surface to the client and bump the append_rejected counter.
+func TestStreamDefaultSpec(t *testing.T) {
+	m := obs.New()
+	_, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
+	created := c.mustCreate(violationFixture(t))
+	opened := c.openStream(created.SessionID, "", 0)
+
+	var info apiv1.StreamInfo
+	if code := c.do("GET", "/v1/streams/"+opened.StreamID, nil, &info); code != 200 {
+		t.Fatal("get stream")
+	}
+	if info.Spec != "all-traces" {
+		t.Fatalf("default spec = %q, want the session reference FA", info.Spec)
+	}
+
+	// An out-of-alphabet event is the only way to violate the permissive
+	// reference FA.
+	var ev apiv1.StreamEventsResponse
+	if code := c.postRaw("/v1/streams/"+opened.StreamID+"/events",
+		ndjson("X = popen()", "launch_missiles(X)"), &ev); code != 200 {
+		t.Fatalf("events: %d", code)
+	}
+	if len(ev.Violations) != 1 || ev.NewClasses != 0 {
+		t.Fatalf("response = %+v, want 1 violation, 0 new classes", ev)
+	}
+	if got := m.Counter("server.stream.append_rejected").Value(); got != 1 {
+		t.Errorf("append_rejected = %d, want 1", got)
+	}
+	var sinfo apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+created.SessionID, nil, &sinfo); code != 200 {
+		t.Fatal("info")
+	}
+	if sinfo.NumTraces != created.NumTraces {
+		t.Errorf("rejected window mutated the session: %d classes", sinfo.NumTraces)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+
+	var apiErr apiv1.Error
+	if code := c.do("POST", "/v1/streams", apiv1.OpenStreamRequest{
+		SessionID: created.SessionID, Spec: "gibberish",
+	}, &apiErr); code != 400 || apiErr.Code != "bad_request" {
+		t.Errorf("bad spec: %d %q", code, apiErr.Code)
+	}
+	if code := c.do("POST", "/v1/streams", apiv1.OpenStreamRequest{
+		SessionID: created.SessionID, Window: -1,
+	}, &apiErr); code != 400 {
+		t.Errorf("negative window: %d", code)
+	}
+
+	// Streams bind to top-level sessions, not focus sub-sessions.
+	var focus apiv1.FocusResponse
+	if code := c.do("POST", "/v1/sessions/"+created.SessionID+"/focus", apiv1.FocusRequest{
+		Concept: created.Top, RefFA: violationFixture(t).RefFA,
+	}, &focus); code != http.StatusCreated {
+		t.Fatalf("focus: %d", code)
+	}
+	if code := c.do("POST", "/v1/streams", apiv1.OpenStreamRequest{
+		SessionID: focus.SessionID,
+	}, &apiErr); code != 400 {
+		t.Errorf("stream on focus session: %d, want 400", code)
+	}
+}
+
+func TestStreamListPagination(t *testing.T) {
+	_, c := newTestServer(t, Config{CacheSize: 4})
+	a := c.mustCreate(violationFixture(t))
+	b := c.mustCreate(fixtureFrom(t, trace.NewSet(trace.ParseEvents("w0", "a()"))))
+	for i := 0; i < 3; i++ {
+		c.openStream(a.SessionID, "", 0)
+	}
+	c.openStream(b.SessionID, "", 0)
+
+	var ids []string
+	cursor := ""
+	for {
+		path := "/v1/streams?limit=2"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		var list apiv1.StreamList
+		if code := c.do("GET", path, nil, &list); code != 200 {
+			t.Fatalf("list: %d", code)
+		}
+		if len(list.Streams) > 2 {
+			t.Fatalf("page of %d, limit 2", len(list.Streams))
+		}
+		for _, si := range list.Streams {
+			ids = append(ids, si.StreamID)
+		}
+		if list.NextCursor == "" {
+			break
+		}
+		cursor = list.NextCursor
+	}
+	if len(ids) != 4 {
+		t.Fatalf("paginated walk saw %d streams, want 4", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("stream IDs not strictly ascending: %v", ids)
+		}
+	}
+
+	// Owner filter.
+	var list apiv1.StreamList
+	if code := c.do("GET", "/v1/streams?session="+b.SessionID, nil, &list); code != 200 {
+		t.Fatal("filtered list")
+	}
+	if len(list.Streams) != 1 || list.Streams[0].SessionID != b.SessionID {
+		t.Fatalf("filtered list = %+v", list.Streams)
+	}
+
+	// Session pagination mirrors stream pagination.
+	var sl apiv1.SessionList
+	if code := c.do("GET", "/v1/sessions?limit=1", nil, &sl); code != 200 {
+		t.Fatal("list sessions")
+	}
+	if len(sl.Sessions) != 1 || sl.NextCursor == "" {
+		t.Fatalf("session page = %d entries, cursor %q", len(sl.Sessions), sl.NextCursor)
+	}
+	var sl2 apiv1.SessionList
+	if code := c.do("GET", "/v1/sessions?limit=1&cursor="+sl.NextCursor, nil, &sl2); code != 200 {
+		t.Fatal("list sessions page 2")
+	}
+	if len(sl2.Sessions) != 1 || sl2.NextCursor != "" {
+		t.Fatalf("session page 2 = %d entries, cursor %q", len(sl2.Sessions), sl2.NextCursor)
+	}
+	if sl.Sessions[0].SessionID == sl2.Sessions[0].SessionID {
+		t.Fatal("pagination repeated a session")
+	}
+}
+
+func TestStreamsDieWithSession(t *testing.T) {
+	srv, c := newTestServer(t, Config{CacheSize: 4, IdleTimeout: time.Minute})
+	a := c.mustCreate(violationFixture(t))
+	b := c.mustCreate(fixtureFrom(t, trace.NewSet(trace.ParseEvents("w0", "a()"))))
+	onA := c.openStream(a.SessionID, stdioSpec, 0)
+	onB := c.openStream(b.SessionID, "", 0)
+
+	// DELETE session → its streams are gone.
+	if code := c.do("DELETE", "/v1/sessions/"+a.SessionID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := c.postRaw("/v1/streams/"+onA.StreamID+"/events", ndjson("X = popen()"), nil); code != http.StatusNotFound {
+		t.Errorf("feed after owner delete: %d, want 404", code)
+	}
+
+	// Idle eviction closes streams too — but a session with live streams
+	// is touched by its stream traffic (resolveStream bumps the owner).
+	base := time.Now()
+	srv.store.now = func() time.Time { return base.Add(2 * time.Minute) }
+	if n := srv.EvictIdleNow(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if code := c.postRaw("/v1/streams/"+onB.StreamID+"/events", ndjson("a()"), nil); code != http.StatusNotFound {
+		t.Errorf("feed after owner eviction: %d, want 404", code)
+	}
+	var list apiv1.StreamList
+	if code := c.do("GET", "/v1/streams", nil, &list); code != 200 || len(list.Streams) != 0 {
+		t.Errorf("streams survived their owners: %+v", list.Streams)
+	}
+}
+
+// TestConcurrentStreamsLatticeMatchesBatch is the acceptance check for
+// the streaming tentpole, run under -race in the race lane: many
+// concurrent streams feed one session while labeling requests interleave,
+// and when the dust settles the incrementally-grown lattice must be
+// byte-identical (concept.WriteSnapshot) to a from-scratch batch build
+// over the same final trace corpus.
+func TestConcurrentStreamsLatticeMatchesBatch(t *testing.T) {
+	const nStreams = 48
+	srv, c := newTestServer(t, Config{CacheSize: 4})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	// Each stream runs a scripted scenario with two violations: a
+	// stream-distinct poisoned window (distinct class per stream) plus a
+	// shared incomplete tail (one class, multiplicity nStreams).
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams*2)
+	for g := 0; g < nStreams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opened := c.openStream(sid, stdioSpec, 8)
+			reads := make([]string, 0, g%4+2)
+			reads = append(reads, "X = popen()")
+			for r := 0; r < g%4; r++ {
+				reads = append(reads, "fread(X)")
+			}
+			reads = append(reads, "X = fopen()") // violation: window differs per g%4
+			var ev apiv1.StreamEventsResponse
+			if code := c.postRaw("/v1/streams/"+opened.StreamID+"/events", ndjson(reads...), &ev); code != 200 {
+				errs <- fmt.Errorf("stream %d: events status %d", g, code)
+				return
+			}
+			if len(ev.Violations) != 1 {
+				errs <- fmt.Errorf("stream %d: %d violations, want 1", g, len(ev.Violations))
+				return
+			}
+			// Leave the protocol open: finalize raises the shared
+			// incomplete violation "X = popen(); fwrite(X)".
+			if code := c.postRaw("/v1/streams/"+opened.StreamID+"/events", ndjson("X = popen()", "fwrite(X)"), &ev); code != 200 {
+				errs <- fmt.Errorf("stream %d: second batch status %d", g, code)
+				return
+			}
+			var closed apiv1.CloseStreamResponse
+			if code := c.do("DELETE", "/v1/streams/"+opened.StreamID, nil, &closed); code != 200 {
+				errs <- fmt.Errorf("stream %d: close status %d", g, code)
+				return
+			}
+			if closed.Violation == nil || !closed.Violation.Incomplete {
+				errs <- fmt.Errorf("stream %d: close violation = %+v", g, closed.Violation)
+			}
+		}(g)
+	}
+	// Labeling traffic interleaves with the violation appends.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3*created.NumTraces; i++ {
+				idx := i % created.NumTraces
+				label := "good"
+				if g%2 == 1 {
+					label = "bad"
+				}
+				var lr apiv1.LabelResponse
+				if code := c.do("POST", "/v1/sessions/"+sid+"/label", apiv1.LabelRequest{Trace: &idx, Label: label}, &lr); code != 200 {
+					errs <- fmt.Errorf("labeler %d: status %d", g, code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// 4 distinct poisoned-window classes + 1 shared incomplete class.
+	var info apiv1.SessionInfo
+	if code := c.do("GET", "/v1/sessions/"+sid, nil, &info); code != 200 {
+		t.Fatal("info")
+	}
+	if info.NumTraces != created.NumTraces+5 {
+		t.Fatalf("session has %d classes, want %d", info.NumTraces, created.NumTraces+5)
+	}
+
+	// Byte-identity: serialize the streamed session's corpus, rebuild a
+	// batch session over it from scratch, compare lattice snapshots.
+	res, ok := srv.store.resolve(sid)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	res.entry.mu.Lock()
+	sess := res.entry.session
+	var corpus strings.Builder
+	if err := trace.Write(&corpus, sess.Set()); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	if err := concept.WriteSnapshot(&streamed, sess.Lattice()); err != nil {
+		t.Fatal(err)
+	}
+	ref := sess.Ref()
+	res.entry.mu.Unlock()
+
+	set, err := trace.Read(strings.NewReader(corpus.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplicities carried over: the shared incomplete class counts one
+	// trace per stream.
+	shared := set.ClassOfKey("X = popen(); fwrite(X)")
+	if shared < 0 || set.Class(shared).Count != nStreams {
+		t.Fatalf("shared violation class count = %d, want %d", set.Class(shared).Count, nStreams)
+	}
+	batch, err := cable.NewSession(set, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt bytes.Buffer
+	if err := concept.WriteSnapshot(&rebuilt, batch.Lattice()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), rebuilt.Bytes()) {
+		t.Fatalf("streamed lattice differs from batch rebuild: %d vs %d bytes",
+			streamed.Len(), rebuilt.Len())
+	}
+}
+
+// TestStreamPersistRestart: open streams ride the WAL (record type 3) and
+// a crash-restart resumes them mid-protocol — frontier, window, counters,
+// and spec binding intact — while closed streams stay closed (tombstone).
+func TestStreamPersistRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, Config{CacheSize: 4, SnapshotDir: dir})
+	created := c.mustCreate(violationFixture(t))
+	sid := created.SessionID
+
+	a := c.openStream(sid, stdioSpec, 8)
+	b := c.openStream(sid, "", 0)
+
+	// Stream A: one violation, then stop mid-protocol (state 1, window
+	// holding the two events since the reset).
+	var ev apiv1.StreamEventsResponse
+	if code := c.postRaw("/v1/streams/"+a.StreamID+"/events",
+		ndjson("X = popen()", "X = fopen()", "X = popen()", "fread(X)"), &ev); code != 200 {
+		t.Fatalf("feed: %d", code)
+	}
+	if len(ev.Violations) != 1 {
+		t.Fatalf("violations = %+v", ev.Violations)
+	}
+	// Stream B closes before the crash: its tombstone must win on replay.
+	if code := c.do("DELETE", "/v1/streams/"+b.StreamID, nil, nil); code != 200 {
+		t.Fatalf("close b: %d", code)
+	}
+	// Snapshot-then-crash is the adversarial order: writeSnap truncates
+	// the WAL, so A's frontier survives only if the snapshot path
+	// re-appends stream records.
+	if _, err := srv.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2 := restartServer(t, dir, obs.New())
+	var info apiv1.StreamInfo
+	if code := c2.do("GET", "/v1/streams/"+a.StreamID, nil, &info); code != 200 {
+		t.Fatalf("stream not restored: %d", code)
+	}
+	if info.Events != 4 || info.Violations != 1 || info.Spec != "stdio" || info.Accepting {
+		t.Fatalf("restored stream = %+v", info)
+	}
+	if code := c2.do("GET", "/v1/streams/"+b.StreamID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("closed stream resurrected: %d", code)
+	}
+
+	// The pre-crash violation is a class in the restored session.
+	var traces apiv1.TraceList
+	if code := c2.do("GET", "/v1/sessions/"+sid+"/traces", nil, &traces); code != 200 {
+		t.Fatal("traces")
+	}
+	found := false
+	for _, tc := range traces.Traces {
+		found = found || tc.Key == "X = popen(); X = fopen()"
+	}
+	if !found {
+		t.Fatal("pre-crash violation class missing after restore")
+	}
+
+	// The restored frontier is live: pclose completes the protocol, so a
+	// finalize right after is clean.
+	if code := c2.postRaw("/v1/streams/"+a.StreamID+"/events", ndjson("pclose(X)"), &ev); code != 200 {
+		t.Fatalf("feed after restore: %d", code)
+	}
+	var closed apiv1.CloseStreamResponse
+	if code := c2.do("DELETE", "/v1/streams/"+a.StreamID, nil, &closed); code != 200 {
+		t.Fatalf("close after restore: %d", code)
+	}
+	if closed.Violation != nil || closed.Events != 5 || closed.ViolationTotal != 1 {
+		t.Fatalf("close after restore = %+v (violation %+v)", closed, closed.Violation)
+	}
+}

@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/scanio"
+)
+
+// Line is the NDJSON wire shape for one stream event, shared by cabled's
+// /v1/streams/{id}/events ingest and the cable CLI's offline mode:
+//
+//	{"event": "fclose(X)"}
+//
+// One JSON object per line; blank lines are skipped.
+type Line struct {
+	Event string `json:"event"`
+}
+
+// DecodeLine parses one NDJSON line into an event. It rejects JSON that
+// isn't a single {"event": ...} object and event text the trace grammar
+// refuses.
+func DecodeLine(data []byte) (event.Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var ln Line
+	if err := dec.Decode(&ln); err != nil {
+		return event.Event{}, fmt.Errorf("decoding event line: %w", err)
+	}
+	if dec.More() {
+		return event.Event{}, fmt.Errorf("decoding event line: trailing data after object")
+	}
+	if ln.Event == "" {
+		return event.Event{}, fmt.Errorf("decoding event line: missing %q field", "event")
+	}
+	ev, err := event.Parse(ln.Event)
+	if err != nil {
+		return event.Event{}, err
+	}
+	return ev, nil
+}
+
+// LineIssue is one rejected NDJSON line. Err is wrapped with
+// scanio.LineError, so errors.As recovers the *scanio.Error and its line
+// number for machine-readable envelopes.
+type LineIssue struct {
+	Line int
+	Err  error
+}
+
+// Ingest pumps NDJSON lines from r into the checker with
+// partial-progress semantics: malformed lines are reported as issues and
+// skipped, well-formed lines are fed, and violations are delivered to
+// onViolation (which may be nil) in stream order as they fire. It
+// returns the number of events accepted. The error return is fatal-only
+// — an unreadable source (oversized line, transport failure) or a feed
+// into a finalized checker; in both cases the counts and issues up to
+// that point are still meaningful.
+func Ingest(c *Checker, r io.Reader, onViolation func(Violation)) (accepted int, issues []LineIssue, err error) {
+	const subsystem = "stream"
+	sc := scanio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		ev, derr := DecodeLine(raw)
+		if derr != nil {
+			issues = append(issues, LineIssue{Line: line, Err: scanio.LineError(subsystem, line, derr)})
+			continue
+		}
+		v, fired, ferr := c.Feed(ev)
+		if ferr != nil {
+			return accepted, issues, scanio.LineError(subsystem, line, ferr)
+		}
+		accepted++
+		if fired && onViolation != nil {
+			onViolation(v)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return accepted, issues, scanio.LineError(subsystem, line+1, serr)
+	}
+	return accepted, issues, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that the race detector is active; allocation-count
+// tests are skipped under -race because instrumentation perturbs them.
+const raceEnabled = true

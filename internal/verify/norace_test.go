@@ -1,0 +1,5 @@
+//go:build !race
+
+package verify
+
+const raceEnabled = false

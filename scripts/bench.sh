@@ -15,7 +15,8 @@ TMP="$(mktemp)"
 TMP_FA="$(mktemp)"
 TMP_BIG="$(mktemp)"
 TMP_INCR="$(mktemp)"
-trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR"' EXIT
+TMP_STREAM="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR" "$TMP_STREAM"' EXIT
 
 # to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
 # allocs_per_op}} JSON object.
@@ -80,6 +81,18 @@ go test -run '^$' -bench 'BenchmarkIncremental' \
 to_json < "$TMP_INCR" > BENCH_incremental.json
 echo "wrote BENCH_incremental.json"
 
+# Streaming verification: the per-event online-check kernel (steady
+# state, violation path, 1000 checkers sharing one plan, NDJSON decode)
+# and the end-to-end pump through cabled's HTTP surface with 1000 open
+# streams fed xtrace-generated workloads.
+go test -run '^$' -bench 'BenchmarkFeed$|BenchmarkFeedViolations|BenchmarkManyStreams|BenchmarkIngest' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/stream | tee -a "$TMP_STREAM"
+go test -run '^$' -bench 'BenchmarkStreamPump' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/server | tee -a "$TMP_STREAM"
+
+to_json < "$TMP_STREAM" > BENCH_stream.json
+echo "wrote BENCH_stream.json"
+
 # One merged file keyed by suite, so trend tooling reads a single
 # artifact instead of stitching the per-suite files.
 {
@@ -95,6 +108,9 @@ echo "wrote BENCH_incremental.json"
     echo '  ,'
     echo '  "incremental":'
     sed 's/^/    /' BENCH_incremental.json
+    echo '  ,'
+    echo '  "stream":'
+    sed 's/^/    /' BENCH_stream.json
     echo '}'
 } > BENCH_summary.json
 echo "wrote BENCH_summary.json"
