@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke
+.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
 
-ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke
+ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +44,7 @@ race:
 # benchmarks: catches benchmark-code rot without paying for stable
 # measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkLatticeBig|BenchmarkBitset|BenchmarkArena|BenchmarkIncremental' \
+	$(GO) test -run '^$$' -bench 'BenchmarkLinkCovers|BenchmarkLatticeQueries|BenchmarkLatticeBig|BenchmarkBitset|BenchmarkArena|BenchmarkIncremental|BenchmarkParallel|BenchmarkSortInts' \
 	    -benchtime 1x ./internal/concept ./internal/bitset
 	$(GO) test -run '^$$' -bench 'BenchmarkExecuted|BenchmarkExecutedAll|BenchmarkAccepts|BenchmarkTraceContext' \
 	    -benchtime 1x ./internal/fa ./internal/concept
@@ -86,6 +86,15 @@ snapshot-smoke:
 stream-smoke:
 	$(GO) test -race -run 'TestStreamSmoke|TestStreamSoak' -count=1 \
 	    ./cmd/cabled ./internal/server
+
+# Multi-core determinism: the parallel Godin and linkCovers properties are
+# only meaningful when goroutines actually interleave, and the 1-core
+# reference container never schedules them concurrently. Force 4 procs so
+# CI exercises real cross-core interleavings of the classify/merge path.
+godin-multicore:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+	    -run 'TestPropParallelGodinDeterministic|TestParallelGodinDeterministicBigCorpus|TestGodinPrunedMatchesLegacy|TestPropParallelLinkCoversDeterministic|TestBigCorpusParallelDeterministic' \
+	    ./internal/concept
 
 # Full measured run; writes BENCH_lattice.json (name → ns/op, allocs/op)
 # and BENCH_obs_snapshot.txt (phase-attributed metrics snapshot).

@@ -528,6 +528,23 @@ func (s *Set) Hash() uint64 {
 	return h
 }
 
+// HashWord returns Hash() of the set whose only word is w — the empty set
+// when w is 0. It is the scalar fast path for universes of at most 64
+// elements (concept intents over specs with ≤64 transitions): callers that
+// intersect one-word sets in registers can probe hash tables without
+// materializing a Set at all. Pinned equal to Hash by TestHashWordMatchesHash.
+func HashWord(w uint64) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a over the single word
+	if w != 0 {
+		h ^= w
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
 // String renders the set as "{a, b, c}".
 func (s *Set) String() string {
 	var b strings.Builder

@@ -80,6 +80,26 @@ func TestHashStructural(t *testing.T) {
 	}
 }
 
+// TestHashWordMatchesHash pins the contract the concept package's one-word
+// index probes rely on: HashWord(w) equals Set.Hash() for any set whose
+// content fits one word, including w == 0 (the empty set).
+func TestHashWordMatchesHash(t *testing.T) {
+	if HashWord(0) != (&Set{}).Hash() {
+		t.Fatalf("HashWord(0) = %x, empty Hash = %x", HashWord(0), (&Set{}).Hash())
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		s := randomSet(rng, 64)
+		var w uint64
+		if ws := s.Words(); len(ws) > 0 {
+			w = ws[0]
+		}
+		if HashWord(w) != s.Hash() {
+			t.Fatalf("HashWord(%#x) = %x, Hash = %x", w, HashWord(w), s.Hash())
+		}
+	}
+}
+
 func TestLenCache(t *testing.T) {
 	s := FromSlice([]int{0, 63, 64, 200})
 	if s.Len() != 4 || s.Len() != 4 {

@@ -14,6 +14,9 @@ func (l *Lattice) Clone() *Lattice {
 		bottom:  l.bottom,
 		arena:   arena,
 		workers: l.workers,
+		// reps/repRows/inv stay nil for lazy rebuild; the insertion-step
+		// pinning travels with the copy.
+		legacyGodin: l.legacyGodin,
 	}
 	headers := make([]Concept, len(l.concepts))
 	nl.concepts = make([]*Concept, len(l.concepts))

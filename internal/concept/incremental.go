@@ -3,6 +3,7 @@ package concept
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/bitset"
@@ -103,47 +104,74 @@ func (l *Lattice) AddObjectCtx(cc context.Context, name string, row *bitset.Set)
 	o := l.ctx.NumObjects()
 	l.ctx.addObject(name, row)
 	row = l.ctx.Attributes(o) // the context's own copy
-	numObj := o + 1
 
 	// Godin step: replay exactly the loop iteration BuildCtx would run for
-	// object o. The snapshot is the pre-add concept slice; the fused kernel
-	// splits modified concepts (intent ⊆ row: extent gains o) from novel
-	// intersections, which become new concepts with the next IDs.
-	scratch := &bitset.Set{}
-	snapshot := l.concepts
-	firstNew := len(snapshot)
-	//cablevet:ignore ctxpropagate one add is atomic: cc was checked before mutation began, and aborting mid-loop would tear the lattice
-	for i := 0; i < firstNew; i++ {
-		c := snapshot[i]
-		if bitset.IntersectEqualsInto(scratch, c.Intent, row) {
-			l.arena.EnsureBits(c.Extent, numObj)
-			c.Extent.Add(o)
-			continue
+	// object o — the pruned scan by default, the legacy full scan when the
+	// lattice is pinned to it. Either way the new object joins reps iff its
+	// row is novel, and it must be there before cover repair: candidate
+	// generation is complete only over all distinct rows.
+	firstNew := len(l.concepts)
+	//cablevet:ignore ctxpropagate one add is atomic: cc was checked before mutation began, and aborting mid-insertion would tear the lattice
+	if l.legacyGodin {
+		scratch := &bitset.Set{}
+		l.godinLegacy(o, row, scratch)
+		key := string(row.AppendKey(nil))
+		if _, dup := l.repRows[key]; !dup {
+			l.repRows[key] = &rowCache{}
+			l.reps = append(l.reps, int32(o))
 		}
-		if l.idx.lookup(l.concepts, scratch) >= 0 {
-			continue
+	} else {
+		l.invEnsure()
+		g := l.godin
+		if g == nil {
+			workers := l.workers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			g = &godinScratch{workers: workers}
+			l.godin = g
 		}
-		inter := l.arena.Clone(scratch)
-		nc := &Concept{ID: len(l.concepts), Extent: tauUpToArena(l.arena, l.ctx, inter, o), Intent: inter}
-		l.concepts = append(l.concepts, nc)
-		l.idx.insert(l.concepts, nc.ID)
-	}
-
-	// Maintain the row-representative dedup: the new object joins reps iff
-	// its row is novel — exactly the first-occurrence set a rebuild's
-	// linkCovers would compute. The new object must be in reps before cover
-	// repair: candidate generation is complete only over all distinct rows.
-	key := string(row.AppendKey(nil))
-	if _, dup := l.repRows[key]; !dup {
-		l.repRows[key] = struct{}{}
-		l.reps = append(l.reps, int32(o))
+		g.godinWordsEnsure(l)
+		l.godinInsert(o, row, g)
 	}
 
 	l.repairCoversAfterAdd(firstNew)
 	l.rescanTopBottom()
-	l.buildTables()
+	l.updateTablesAfterAdd(o)
 	obs.Count("lattice.incr.adds", 1)
 	return nil
+}
+
+// updateTablesAfterAdd extends the query tables for one appended object.
+// The ObjectConcept entries of earlier objects are stable under an add —
+// concept IDs never change, intents are immutable, and old rows are
+// untouched, so each σ({o'}) resolves to the same concept — which reduces
+// the table work from numObj index lookups to one. AttributeConcept depends
+// on the (changed) object columns and is recomputed; attribute universes
+// are small.
+func (l *Lattice) updateTablesAfterAdd(o int) {
+	if len(l.objConcept) != o || len(l.attrConcept) != l.ctx.NumAttributes() {
+		// A lattice whose tables were never built (or are from a foreign
+		// constructor) gets the full pass.
+		l.buildTables()
+		return
+	}
+	sp := obs.StartSpan("lattice.tables")
+	defer sp.End()
+	id := l.idx.lookup(l.concepts, l.ctx.Attributes(o))
+	if id < 0 {
+		panic("concept: object row is not a closed intent")
+	}
+	l.objConcept = append(l.objConcept, id)
+	scratch := &bitset.Set{}
+	for a := range l.attrConcept {
+		l.ctx.SigmaInto(scratch, l.ctx.Objects(a))
+		id := l.idx.lookup(l.concepts, scratch)
+		if id < 0 {
+			panic("concept: attribute closure is not a closed intent")
+		}
+		l.attrConcept[a] = id
+	}
 }
 
 // repairCoversAfterAdd fixes the Hasse diagram after the Godin step
@@ -333,7 +361,11 @@ func (l *Lattice) RemoveObjectCtx(cc context.Context, o int) error {
 	// update. The copy keeps the lattice intact if the replay is cancelled.
 	nctx := l.ctx.clone()
 	nctx.removeObject(o)
-	nl, err := BuildCtx(cc, nctx, WithWorkers(l.workers))
+	opts := []BuildOption{WithWorkers(l.workers)}
+	if l.legacyGodin {
+		opts = append(opts, withLegacyGodin())
+	}
+	nl, err := BuildCtx(cc, nctx, opts...)
 	if err != nil {
 		return err
 	}
@@ -355,25 +387,30 @@ func (l *Lattice) adopt(nl *Lattice) {
 	l.attrConcept = nl.attrConcept
 	l.arena = nl.arena
 	l.workers = nl.workers
-	l.reps, l.repRows = nil, nil
+	l.reps, l.repRows = nl.reps, nl.repRows
+	l.inv = nl.inv
+	l.hdr = nl.hdr
+	l.godin = nil // intent-word cache indexes the old concept set
+	l.legacyGodin = nl.legacyGodin
 }
 
 // repsEnsure lazily builds the row-representative tables (one object per
-// distinct context row, first-occurrence order).
+// distinct context row, first-occurrence order). Replay caches start empty
+// (upTo 0): the first repeat of each row folds the existing concepts in.
 func (l *Lattice) repsEnsure() {
 	if l.repRows != nil {
 		return
 	}
 	numObj := l.ctx.NumObjects()
 	l.reps = make([]int32, 0, numObj)
-	l.repRows = make(map[string]struct{}, numObj)
+	l.repRows = make(map[string]*rowCache, numObj)
 	var keyBuf []byte
 	for o := 0; o < numObj; o++ {
 		keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
 		if _, dup := l.repRows[string(keyBuf)]; dup {
 			continue
 		}
-		l.repRows[string(keyBuf)] = struct{}{}
+		l.repRows[string(keyBuf)] = &rowCache{}
 		l.reps = append(l.reps, int32(o))
 	}
 }

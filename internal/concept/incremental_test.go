@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/trace"
 	"repro/internal/xtrace"
 )
 
@@ -200,11 +201,23 @@ func TestCloneIndependent(t *testing.T) {
 	}
 }
 
+// benchFreshTraces samples trace classes disjoint from the shared big
+// corpus (different generator seed) for the incremental-add benchmarks.
+func benchFreshTraces(b *testing.B) []trace.Trace {
+	b.Helper()
+	gen := xtrace.Generator{Model: bigCorpusModel(), Seed: 424242}
+	freshSet, _ := gen.ScenarioSet(2000)
+	return freshSet.Representatives()
+}
+
 // BenchmarkIncremental measures the incremental lanes against the full
-// rebuild they replace at production corpus scale. AddTrace is the
-// streaming-ingestion hot path; AddRemoveTrace restores the corpus every
-// iteration (the remove is the duplicate-row fast path by construction);
-// Rebuild is the baseline the ≥10× acceptance ratio is read against.
+// rebuild they replace at production corpus scale. AddTrace/Pruned is the
+// streaming-ingestion hot path (the production pruned Godin step);
+// AddTrace/Unpruned keeps the legacy full-scan insertion as the baseline
+// the pruning speedup is read against; AddRemoveTrace restores the corpus
+// every iteration (the remove is the duplicate-row fast path by
+// construction); Rebuild is the baseline the ≥10× acceptance ratio is read
+// against.
 func BenchmarkIncremental(b *testing.B) {
 	fc, err := bigCorpusContext()
 	if err != nil {
@@ -212,36 +225,38 @@ func BenchmarkIncremental(b *testing.B) {
 	}
 	ref := bigCorpusRef()
 	corpus := bigCorpusClasses(60000).Representatives()
-	gen := xtrace.Generator{Model: bigCorpusModel(), Seed: 424242}
-	freshSet, _ := gen.ScenarioSet(2000)
-	fresh := freshSet.Representatives()
-	build := func(b *testing.B) *Lattice {
-		l, err := BuildCtx(context.Background(), fc.clone(), WithWorkers(1))
+	fresh := benchFreshTraces(b)
+	build := func(b *testing.B, opts ...BuildOption) *Lattice {
+		l, err := BuildCtx(context.Background(), fc.clone(), append([]BuildOption{WithWorkers(1)}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return l
 	}
-	b.Run("AddTrace", func(b *testing.B) {
-		l := build(b)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			// Reset the lattice (untimed) every 256 adds: without this,
-			// large b.N measures adds against an ever-growing corpus
-			// instead of the marginal add at baseline size.
-			if i > 0 && i%256 == 0 {
-				b.StopTimer()
-				l = build(b)
-				b.StartTimer()
-			}
-			tr := fresh[i%len(fresh)]
-			tr.ID = fmt.Sprintf("bench-add-%d", i)
-			if err := l.AddTraceCtx(context.Background(), tr, ref); err != nil {
-				b.Fatal(err)
+	addLane := func(opts ...BuildOption) func(*testing.B) {
+		return func(b *testing.B) {
+			l := build(b, opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Reset the lattice (untimed) every 256 adds: without this,
+				// large b.N measures adds against an ever-growing corpus
+				// instead of the marginal add at baseline size.
+				if i > 0 && i%256 == 0 {
+					b.StopTimer()
+					l = build(b, opts...)
+					b.StartTimer()
+				}
+				tr := fresh[i%len(fresh)]
+				tr.ID = fmt.Sprintf("bench-add-%d", i)
+				if err := l.AddTraceCtx(context.Background(), tr, ref); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
-	})
+	}
+	b.Run("AddTrace/Pruned", addLane())
+	b.Run("AddTrace/Unpruned", addLane(withLegacyGodin()))
 	b.Run("AddRemoveTrace", func(b *testing.B) {
 		l := build(b)
 		base := l.Context().NumObjects()

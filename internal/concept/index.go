@@ -51,6 +51,29 @@ func (ix *intentIndex) lookup(concepts []*Concept, s *bitset.Set) int {
 	}
 }
 
+// lookupWord is lookup specialized for one-word attribute universes: w is
+// the single backing word of the probe intent (0 = the empty intent) and
+// intentWords the flat per-concept table of intent words. bitset.HashWord
+// matches Set.Hash for one-word content (pinned by TestHashWordMatchesHash),
+// so the probe sequence is identical to lookup's while the collision
+// comparison is one word compare instead of a Set walk.
+func (ix *intentIndex) lookupWord(intentWords []uint64, w uint64) int {
+	if len(ix.ids) == 0 {
+		return -1
+	}
+	i := bitset.HashWord(w) & ix.mask
+	for {
+		slot := ix.ids[i]
+		if slot == 0 {
+			return -1
+		}
+		if id := int(slot - 1); intentWords[id] == w {
+			return id
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
 // insert records concepts[id] under its intent's hash. The intent must not
 // already be present.
 func (ix *intentIndex) insert(concepts []*Concept, id int) {

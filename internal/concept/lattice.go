@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,25 +56,64 @@ type Lattice struct {
 	workers int
 
 	// reps holds one representative object per distinct context row in
-	// first-occurrence order (the same dedup linkCovers computes), and
-	// repRows its row-key membership set. Built lazily by repsEnsure for
-	// incremental maintenance; repRows == nil means not built.
+	// first-occurrence order (the dedup both linkCovers and the pruned Godin
+	// step rely on), and repRows maps each distinct row key to its replay
+	// cache. Maintained incrementally by pruned builds, built lazily by
+	// repsEnsure otherwise; repRows == nil means not built.
 	reps    []int32
-	repRows map[string]struct{}
+	repRows map[string]*rowCache
+
+	// inv is the per-attribute inverted concept index the pruned Godin scan
+	// intersects against; nil until a pruned build or invEnsure creates it.
+	inv *invIndex
+	// hdr is the current concept-header slab chunk (see newConcept).
+	hdr []Concept
+	// godin caches the insertion scratch across incremental adds.
+	godin *godinScratch
+	// legacyGodin pins this lattice to the unpruned full-scan insertion
+	// step, for differential tests and the unpruned benchmark baseline; it
+	// is inherited by incremental maintenance and replay rebuilds.
+	legacyGodin bool
+}
+
+// newConcept appends a concept with the next ID, indexing its intent in idx
+// and (when maintained) the inverted attribute index. Headers come from
+// chunked slabs: one allocation per 256 concepts, not per concept.
+func (l *Lattice) newConcept(extent, intent *bitset.Set) *Concept {
+	if len(l.hdr) == cap(l.hdr) {
+		l.hdr = make([]Concept, 0, 256)
+	}
+	l.hdr = l.hdr[:len(l.hdr)+1]
+	c := &l.hdr[len(l.hdr)-1]
+	*c = Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
+	l.concepts = append(l.concepts, c)
+	l.idx.insert(l.concepts, c.ID)
+	if l.inv != nil {
+		l.inv.register(c)
+	}
+	return c
 }
 
 // BuildOption configures a lattice build.
 type BuildOption func(*buildConfig)
 
 type buildConfig struct {
-	workers int
+	workers     int
+	legacyGodin bool
 }
 
-// WithWorkers bounds the worker pool the build's parallel phases (cover
-// linking) may use. 0 — and omitting the option — means GOMAXPROCS; 1
-// forces the serial path.
+// WithWorkers bounds the worker pool the build's parallel phases (the Godin
+// insertion scan and cover linking) may use. 0 — and omitting the option —
+// means GOMAXPROCS; 1 forces the serial paths.
 func WithWorkers(n int) BuildOption {
 	return func(c *buildConfig) { c.workers = n }
+}
+
+// withLegacyGodin forces the unpruned full-scan Godin step. Unexported: it
+// exists for the pruned-vs-legacy differential tests and the unpruned
+// benchmark baseline, not for callers.
+func withLegacyGodin() BuildOption {
+	return func(c *buildConfig) { c.legacyGodin = true }
 }
 
 func applyOptions(opts []BuildOption) buildConfig {
@@ -113,22 +153,11 @@ func BuildCtx(cc context.Context, ctx *Context, opts ...BuildOption) (*Lattice, 
 	sp := obs.StartSpan("lattice.build")
 	defer sp.End()
 	arena := bitset.NewArena()
-	l := &Lattice{ctx: ctx, arena: arena, workers: cfg.workers}
+	l := &Lattice{ctx: ctx, arena: arena, workers: cfg.workers, legacyGodin: cfg.legacyGodin}
 	numObj, numAttr := ctx.NumObjects(), ctx.NumAttributes()
 	l.idx.initFor(256)
-
-	// Concept headers come from chunked slabs for the same reason the sets
-	// come from the arena: one allocation per 256 concepts, not per concept.
-	var chunk []Concept
-	addConcept := func(extent, intent *bitset.Set) {
-		if len(chunk) == cap(chunk) {
-			chunk = make([]Concept, 0, 256)
-		}
-		chunk = chunk[:len(chunk)+1]
-		c := &chunk[len(chunk)-1]
-		*c = Concept{ID: len(l.concepts), Extent: extent, Intent: intent}
-		l.concepts = append(l.concepts, c)
-		l.idx.insert(l.concepts, c.ID)
+	if !cfg.legacyGodin {
+		l.inv = newInvIndex(numAttr)
 	}
 
 	// Seed with the bottom concept: intent = all attributes, extent = the
@@ -136,38 +165,39 @@ func BuildCtx(cc context.Context, ctx *Context, opts ...BuildOption) (*Lattice, 
 	// lattice makes the concept set closed under intersection of intents.
 	// Extents get capacity for the full object universe so in-place Add
 	// never leaves the arena.
-	addConcept(arena.Set(numObj, numObj), arena.Set(numAttr, numAttr).FillFull(numAttr))
+	l.newConcept(arena.Set(numObj, numObj), arena.Set(numAttr, numAttr).FillFull(numAttr))
 
-	// The scratch intersection lives on the heap (IntersectEqualsInto's dst
-	// must not alias its operands) and is only materialized into the arena
-	// when it is a novel intent.
-	scratch := &bitset.Set{}
 	done := cc.Done()
-	for o := 0; o < numObj; o++ {
-		select {
-		case <-done:
-			return nil, cc.Err()
-		default:
+	if cfg.legacyGodin {
+		// The scratch intersection lives on the heap (IntersectEqualsInto's
+		// dst must not alias its operands) and is only materialized into the
+		// arena when it is a novel intent.
+		scratch := &bitset.Set{}
+		for o := 0; o < numObj; o++ {
+			select {
+			case <-done:
+				return nil, cc.Err()
+			default:
+			}
+			l.godinLegacy(o, ctx.Attributes(o), scratch)
 		}
-		row := ctx.Attributes(o)
-		snapshot := l.concepts // new concepts are appended; iterate old only
-		n := len(snapshot)
-		for i := 0; i < n; i++ {
-			c := snapshot[i]
-			// One fused word-parallel pass: scratch = Intent ∩ row, and the
-			// subset verdict tells modified concepts from candidate parents.
-			if bitset.IntersectEqualsInto(scratch, c.Intent, row) {
-				// Modified concept: the new object joins its extent.
-				c.Extent.Add(o)
-				continue
+	} else {
+		workers := cfg.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		g := &godinScratch{workers: workers, poolWanted: workers > 1}
+		defer g.closePool()
+		l.repRows = make(map[string]*rowCache, numObj)
+		l.reps = make([]int32, 0, numObj)
+		g.godinWordsEnsure(l)
+		for o := 0; o < numObj; o++ {
+			select {
+			case <-done:
+				return nil, cc.Err()
+			default:
 			}
-			if l.idx.lookup(l.concepts, scratch) >= 0 {
-				continue
-			}
-			// The extent of the new concept is τ(inter) over the objects
-			// seen so far, which includes o because inter ⊆ row.
-			inter := arena.Clone(scratch)
-			addConcept(tauUpToArena(arena, ctx, inter, o), inter)
+			l.godinInsert(o, ctx.Attributes(o), g)
 		}
 	}
 	if err := l.finalizeCtx(cc, cfg.workers); err != nil {
@@ -305,18 +335,44 @@ func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 	}
 	numObj := l.ctx.NumObjects()
 
-	// One representative object per distinct context row.
-	reps := make([]int32, 0, numObj)
-	{
-		seen := make(map[string]struct{}, numObj)
-		var keyBuf []byte
-		for o := 0; o < numObj; o++ {
-			keyBuf = l.ctx.Attributes(o).AppendKey(keyBuf[:0])
-			if _, dup := seen[string(keyBuf)]; dup {
-				continue
-			}
-			seen[string(keyBuf)] = struct{}{}
-			reps = append(reps, int32(o))
+	// One representative object per distinct context row — the same dedup
+	// the pruned Godin step maintains, so builds that already paid for it
+	// reuse it here.
+	l.repsEnsure()
+	reps := l.reps
+
+	// attrReps[a] is the set of rep POSITIONS (indices into reps) whose row
+	// contains attribute a. The union over a concept's intent is exactly the
+	// reps whose closure against that intent is non-empty: reps outside the
+	// union close to ∅, and since a rep inside the extent always carries the
+	// whole intent, every outside rep is automatically outside the extent
+	// too. They all name one candidate — the ∅-intent concept — which must
+	// exist whenever any of them does (intersections of closed intents are
+	// closed), so the per-rep scan collapses to the in-mask reps plus at
+	// most one appended candidate.
+	attrReps := make([]bitset.Set, l.ctx.NumAttributes())
+	for k, rep := range reps {
+		l.ctx.Attributes(int(rep)).Range(func(a int) bool {
+			attrReps[a].Add(k)
+			return true
+		})
+	}
+	emptyID := l.idx.lookup(l.concepts, &bitset.Set{})
+
+	// On one-word attribute universes (≤64 attributes — every shipped
+	// corpus) intents and rows fit in registers: the closure is one AND and
+	// known intents are probed through a flat word table, skipping the
+	// Set-walking Equal in the index probe.
+	var intentWord []uint64
+	var repWord []uint64
+	if l.ctx.NumAttributes() <= wordBitsPerSet {
+		intentWord = make([]uint64, n)
+		for i, c := range l.concepts {
+			intentWord[i] = word0(c.Intent)
+		}
+		repWord = make([]uint64, len(reps))
+		for k, rep := range reps {
+			repWord[k] = word0(l.ctx.Attributes(int(rep)))
 		}
 	}
 
@@ -346,6 +402,12 @@ func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 		}
 		return a < b
 	}
+	cmp32 := func(a, b int32) int {
+		if sizes[a] != sizes[b] {
+			return int(sizes[a] - sizes[b])
+		}
+		return int(a - b)
+	}
 
 	// out[ci] receives ci's covers; each worker writes only the slots of
 	// chunks it claimed, so the slice needs no synchronization beyond the
@@ -353,7 +415,8 @@ func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 	out := make([][]int32, n)
 	type lcWorker struct {
 		scratch bitset.Set
-		seen    []int32 // seen[id] == gen marks id as a candidate of the current concept
+		mask    bitset.Set // union of attrReps rows over the concept's intent
+		seen    []int32    // seen[id] == gen marks id as a candidate of the current concept
 		gen     int32
 		cand    []int32
 		block   []int32 // cover output; out slices point into retired blocks
@@ -380,30 +443,70 @@ func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 			}
 			w.gen = 1
 		}
-		// Collect the deduplicated candidate set {concept(Y ∩ row(o))}.
+		// Collect the deduplicated candidate set {concept(Y ∩ row(o))},
+		// visiting only reps sharing ≥1 attribute with the intent; the reps
+		// outside the mask collapse into the single ∅-intent candidate.
+		w.mask.Clear()
+		c.Intent.Range(func(a int) bool {
+			w.mask.UnionWith(&attrReps[a])
+			return true
+		})
 		cand := w.cand[:0]
-		for _, rep := range reps {
-			o := int(rep)
-			if c.Extent.Has(o) {
-				continue
-			}
-			bitset.IntersectInto(&w.scratch, c.Intent, l.ctx.Attributes(o))
-			id := l.idx.lookup(l.concepts, &w.scratch)
-			if id < 0 {
+		if intentWord != nil {
+			yw := intentWord[ci]
+			w.mask.Range(func(k int) bool {
+				if c.Extent.Has(int(reps[k])) {
+					return true
+				}
+				id := l.idx.lookupWord(intentWord, yw&repWord[k])
+				if id < 0 {
+					panic("concept: closure missing from intent index")
+				}
+				if w.seen[id] != w.gen {
+					w.seen[id] = w.gen
+					cand = append(cand, int32(id))
+				}
+				return true
+			})
+		} else {
+			w.mask.Range(func(k int) bool {
+				o := int(reps[k])
+				if c.Extent.Has(o) {
+					return true
+				}
+				bitset.IntersectInto(&w.scratch, c.Intent, l.ctx.Attributes(o))
+				id := l.idx.lookup(l.concepts, &w.scratch)
+				if id < 0 {
+					panic("concept: closure missing from intent index")
+				}
+				if w.seen[id] != w.gen {
+					w.seen[id] = w.gen
+					cand = append(cand, int32(id))
+				}
+				return true
+			})
+		}
+		if w.mask.Len() < len(reps) {
+			// Some rep is disjoint from the intent, so ∅ is a closed intent
+			// and its concept is a candidate (in-mask reps never produce it:
+			// their closures contain a shared attribute).
+			if emptyID < 0 {
 				panic("concept: closure missing from intent index")
 			}
-			if w.seen[id] != w.gen {
-				w.seen[id] = w.gen
-				cand = append(cand, int32(id))
-			}
+			cand = append(cand, int32(emptyID))
 		}
 		// Size-layer order: ascending extent size, ties by ID for
-		// determinism. Insertion sort — candidate lists are short, and this
-		// avoids the sort.Slice closure the serial implementation paid.
-		for i := 1; i < len(cand); i++ {
-			for j := i; j > 0 && less(cand[j], cand[j-1]); j-- {
-				cand[j], cand[j-1] = cand[j-1], cand[j]
+		// determinism (the total order also erases any candidate-order
+		// difference versus the unpruned per-rep scan). Insertion sort for
+		// the short lists that dominate; slices.SortFunc above the cutoff.
+		if len(cand) <= insertionSortCutoff {
+			for i := 1; i < len(cand); i++ {
+				for j := i; j > 0 && less(cand[j], cand[j-1]); j-- {
+					cand[j], cand[j-1] = cand[j-1], cand[j]
+				}
 			}
+		} else {
+			slices.SortFunc(cand, cmp32)
 		}
 		w.cand = cand
 		w.cands += int64(len(cand))
@@ -558,7 +661,17 @@ func (l *Lattice) linkCovers(cc context.Context, workers int) error {
 
 func wordsFor(n int) int { return (n + 63) / 64 }
 
+// insertionSortCutoff is the length above which candidate and cover-list
+// sorts switch from insertion sort (branch-cheap on the short lists that
+// dominate) to the stdlib sort (O(n log n) on the large layers where the
+// quadratic scan used to show up in profiles).
+const insertionSortCutoff = 32
+
 func insertionSortInts(xs []int) {
+	if len(xs) > insertionSortCutoff {
+		slices.Sort(xs)
+		return
+	}
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]

@@ -42,9 +42,11 @@ type Config struct {
 	// uses DefaultScale.
 	Scale func(specName string) int
 	// Workers bounds the per-spec parallelism of the sweep drivers (Table2,
-	// Table3, LatticeGrowth, AdvantageSweep): 0 uses GOMAXPROCS, 1 forces a
-	// serial sweep. Results are gathered in input order, so the tables are
-	// identical for every setting.
+	// Table3, LatticeGrowth, AdvantageSweep) and flows into each lattice
+	// build, whose Godin insertion scan and cover linking are themselves
+	// worker-parallel (and byte-deterministic for every setting): 0 uses
+	// GOMAXPROCS, 1 forces serial paths. Results are gathered in input
+	// order, so the tables are identical for every setting.
 	Workers int
 }
 

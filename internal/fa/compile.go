@@ -216,6 +216,19 @@ func (s *Sim) NumSymbols() int { return s.numSyms }
 // FA returns the automaton this plan was compiled from.
 func (s *Sim) FA() *FA { return s.fa }
 
+// CanonicalEvent returns the interned event whose canonical rendering
+// (event.AppendString) is exactly key, or ok=false when the bytes name no
+// transition label of this plan. Decoders that already hold the rendering
+// bytes of a candidate event use it to reuse the interned Event — shared
+// strings, no per-event parse allocations.
+func (s *Sim) CanonicalEvent(key []byte) (event.Event, bool) {
+	id, ok := s.interner.LookupKey(key)
+	if !ok {
+		return event.Event{}, false
+	}
+	return s.interner.Event(id), true
+}
+
 // mapSyms renders each trace event once and resolves it to a dense symbol
 // ID (-1 for events outside the automaton's alphabet, which only wildcard
 // rows can match). The rendering buffer and symbol slice are scratch-owned,

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/event"
+	"repro/internal/fa"
 	"repro/internal/scanio"
 )
 
@@ -43,6 +44,67 @@ func DecodeLine(data []byte) (event.Event, error) {
 	return ev, nil
 }
 
+// decodeLineFast is the allocation-free decode path for the overwhelmingly
+// common wire shape: a single-field {"event":"..."} object whose string has
+// no escapes and whose text is the canonical rendering of an event the
+// checker's plan already interned. On a hit it returns the interned Event
+// (shared strings, zero allocations); any deviation — extra fields, escape
+// sequences, malformed JSON, an event outside the plan's alphabet or in a
+// non-canonical spelling — reports ok=false and the caller falls back to
+// DecodeLine, whose json.Decoder + event.Parse semantics (and exact errors)
+// remain authoritative.
+func decodeLineFast(sim *fa.Sim, raw []byte) (ev event.Event, ok bool) {
+	i, n := 0, len(raw)
+	skip := func() {
+		for i < n && (raw[i] == ' ' || raw[i] == '\t' || raw[i] == '\r' || raw[i] == '\n') {
+			i++
+		}
+	}
+	skip()
+	if i >= n || raw[i] != '{' {
+		return event.Event{}, false
+	}
+	i++
+	skip()
+	const field = `"event"`
+	if n-i < len(field) || string(raw[i:i+len(field)]) != field {
+		return event.Event{}, false
+	}
+	i += len(field)
+	skip()
+	if i >= n || raw[i] != ':' {
+		return event.Event{}, false
+	}
+	i++
+	skip()
+	if i >= n || raw[i] != '"' {
+		return event.Event{}, false
+	}
+	i++
+	start := i
+	for i < n && raw[i] != '"' {
+		if c := raw[i]; c == '\\' || c < 0x20 {
+			return event.Event{}, false
+		}
+		i++
+	}
+	if i >= n || i == start {
+		return event.Event{}, false // unterminated, or empty (slow path owns that error)
+	}
+	text := raw[start:i]
+	i++
+	skip()
+	if i >= n || raw[i] != '}' {
+		return event.Event{}, false
+	}
+	i++
+	skip()
+	if i != n {
+		return event.Event{}, false
+	}
+	return sim.CanonicalEvent(text)
+}
+
 // LineIssue is one rejected NDJSON line. Err is wrapped with
 // scanio.LineError, so errors.As recovers the *scanio.Error and its line
 // number for machine-readable envelopes.
@@ -61,6 +123,7 @@ type LineIssue struct {
 // that point are still meaningful.
 func Ingest(c *Checker, r io.Reader, onViolation func(Violation)) (accepted int, issues []LineIssue, err error) {
 	const subsystem = "stream"
+	sim := c.cur.Sim()
 	sc := scanio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
@@ -69,10 +132,14 @@ func Ingest(c *Checker, r io.Reader, onViolation func(Violation)) (accepted int,
 		if len(raw) == 0 {
 			continue
 		}
-		ev, derr := DecodeLine(raw)
-		if derr != nil {
-			issues = append(issues, LineIssue{Line: line, Err: scanio.LineError(subsystem, line, derr)})
-			continue
+		ev, ok := decodeLineFast(sim, raw)
+		if !ok {
+			var derr error
+			ev, derr = DecodeLine(raw)
+			if derr != nil {
+				issues = append(issues, LineIssue{Line: line, Err: scanio.LineError(subsystem, line, derr)})
+				continue
+			}
 		}
 		v, fired, ferr := c.Feed(ev)
 		if ferr != nil {

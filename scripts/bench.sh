@@ -16,7 +16,8 @@ TMP_FA="$(mktemp)"
 TMP_BIG="$(mktemp)"
 TMP_INCR="$(mktemp)"
 TMP_STREAM="$(mktemp)"
-trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR" "$TMP_STREAM"' EXIT
+TMP_PAR="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR" "$TMP_STREAM" "$TMP_PAR"' EXIT
 
 # to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
 # allocs_per_op}} JSON object.
@@ -93,6 +94,27 @@ go test -run '^$' -bench 'BenchmarkStreamPump' \
 to_json < "$TMP_STREAM" > BENCH_stream.json
 echo "wrote BENCH_stream.json"
 
+# The multi-core lane: worker-scaling curves (1/2/4/8 workers as w1..w8
+# sub-benchmarks) for the phases that honor WithWorkers — the Godin
+# insertion scan inside Build, cover linking, and the incremental add. The
+# speedup only shows on a multi-core box, so the lane raises GOMAXPROCS to
+# at least 8 when the hardware has the cores; on the 1-core reference
+# container the curves are flat and only the determinism property is
+# exercised (the file is still written so BENCH_summary.json is stable).
+CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+PAR_PROCS="$CORES"
+if [ "$CORES" -lt 8 ]; then PAR_PROCS="$CORES"; else PAR_PROCS=8; fi
+if [ "$CORES" -gt 1 ]; then
+    echo "multi-core lane: GOMAXPROCS=$PAR_PROCS ($CORES cores online)"
+else
+    echo "multi-core lane: single core online; scaling curves will be flat"
+fi
+GOMAXPROCS="$PAR_PROCS" go test -run '^$' -bench 'BenchmarkParallel|BenchmarkSortInts' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/concept | tee -a "$TMP_PAR"
+
+to_json < "$TMP_PAR" > BENCH_parallel.json
+echo "wrote BENCH_parallel.json"
+
 # One merged file keyed by suite, so trend tooling reads a single
 # artifact instead of stitching the per-suite files.
 {
@@ -111,6 +133,9 @@ echo "wrote BENCH_stream.json"
     echo '  ,'
     echo '  "stream":'
     sed 's/^/    /' BENCH_stream.json
+    echo '  ,'
+    echo '  "parallel":'
+    sed 's/^/    /' BENCH_parallel.json
     echo '}'
 } > BENCH_summary.json
 echo "wrote BENCH_summary.json"
