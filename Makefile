@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt cablevet speclint build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
+.PHONY: ci vet fmt cablevet speclint speclint-corpus build test race bench-smoke bench obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
 
-ci: fmt vet cablevet speclint build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
+ci: fmt vet cablevet speclint speclint-corpus build race bench-smoke obs-smoke fuzz-smoke cabled-smoke snapshot-smoke stream-smoke godin-multicore
 
 vet:
 	$(GO) vet ./...
@@ -25,9 +25,17 @@ cablevet:
 	$(GO) vet -vettool=$$PWD/bin/cablevet ./...
 
 # The specification-level counterpart: every shipped paper spec must lint
-# clean (internal/speclint via the cable lint subcommand).
+# clean — structural and semantic rules plus the cross-spec
+# duplicate/subsumption pass (internal/speclint via cable lint).
 speclint:
 	$(GO) run ./cmd/cable lint -corpus
+
+# Witness stability: every seeded buggy spec must yield its pinned
+# separating witness against the known-correct FA
+# (internal/speclint/testdata/corpus_witnesses.golden; regenerate with
+# `go test ./internal/speclint -run TestCorpusWitnessGolden -update`).
+speclint-corpus:
+	$(GO) test -run 'TestCorpusWitnessGolden|TestShippedCorpusSemanticClean' -count=1 ./internal/speclint
 
 build:
 	$(GO) build ./...
@@ -58,11 +66,15 @@ obs-smoke:
 	    | grep -q '^span    lattice.build '
 
 # Short fuzz passes over the three text-format round-trip properties
-# (traces, automata, Burmeister contexts).
+# (traces, automata, Burmeister contexts) and the two semantic-engine
+# differential properties (determinization vs. the NFA, complement and
+# self-inclusion vs. the bounded oracle).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzFAIO$$' -fuzztime 5s ./internal/fa
 	$(GO) test -run '^$$' -fuzz '^FuzzConceptIO$$' -fuzztime 5s ./internal/concept
+	$(GO) test -run '^$$' -fuzz '^FuzzDeterminize$$' -fuzztime 5s ./internal/fa/lang
+	$(GO) test -run '^$$' -fuzz '^FuzzComplementInclusion$$' -fuzztime 5s ./internal/fa/lang
 
 # Build the real cabled binary, exercise the API over TCP, and assert a
 # clean SIGTERM shutdown while a lattice build is in flight. The server

@@ -11,22 +11,27 @@ import (
 	"repro/internal/trace"
 )
 
-// runLint implements the "cable lint" subcommand: a structural check of
-// specification automata (internal/speclint) run before any lattice is
-// built. It exits 1 when any finding is reported, so it slots into CI.
+// runLint implements the "cable lint" subcommand: the structural and
+// semantic checks of specification automata (internal/speclint) run
+// before any lattice is built. With -ref it also diffs the spec against
+// a reference automaton by language; -witness prints the concrete
+// counterexample trace under each finding that has one. It exits 1 when
+// any finding is reported, so it slots into CI.
 //
-//	cable lint -fa spec.fa [-traces scenarios.txt]
-//	cable lint -corpus
+//	cable lint -fa spec.fa [-traces scenarios.txt] [-ref correct.fa] [-witness]
+//	cable lint -corpus [-witness]
 func runLint(args []string) {
 	fs := flag.NewFlagSet("cable lint", flag.ExitOnError)
 	var (
 		faPath     = fs.String("fa", "", "specification FA file to lint")
 		tracesPath = fs.String("traces", "", "optional trace file; enables alphabet checking")
+		refPath    = fs.String("ref", "", "optional reference FA; enables the language diff")
+		witness    = fs.Bool("witness", false, "print the witness trace under each finding that carries one")
 		corpus     = fs.Bool("corpus", false, "lint every shipped paper specification instead of one file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: cable lint -fa spec.fa [-traces scenarios.txt]")
-		fmt.Fprintln(fs.Output(), "       cable lint -corpus")
+		fmt.Fprintln(fs.Output(), "usage: cable lint -fa spec.fa [-traces scenarios.txt] [-ref correct.fa] [-witness]")
+		fmt.Fprintln(fs.Output(), "       cable lint -corpus [-witness]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -35,26 +40,33 @@ func runLint(args []string) {
 	specCount := 0
 	switch {
 	case *corpus:
+		// Corpus mode runs every automaton-only rule per spec, then the
+		// cross-spec duplicate/subsumption pass over the whole set.
+		var fas []*fa.FA
 		for _, sp := range append(specs.All(), specs.Stdio()) {
 			specCount++
-			findings = append(findings, speclint.Lint(sp.FA)...)
+			findings = append(findings, speclint.LintAll(sp.FA)...)
+			fas = append(fas, sp.FA)
 		}
+		cross, err := speclint.Corpus(fas)
+		die(err)
+		findings = append(findings, cross...)
 	case *faPath != "":
-		f, err := os.Open(*faPath)
-		die(err)
-		spec, err := fa.Read(f)
-		die(f.Close())
-		die(err)
+		spec := readFAFile(*faPath)
 		specCount++
+		findings = speclint.LintAll(spec)
 		if *tracesPath != "" {
 			tf, err := os.Open(*tracesPath)
 			die(err)
 			set, err := trace.Read(tf)
 			die(tf.Close())
 			die(err)
-			findings = speclint.LintWithTraces(spec, set.Representatives())
-		} else {
-			findings = speclint.Lint(spec)
+			findings = append(findings, speclint.AlphabetFindings(spec, set.Representatives())...)
+		}
+		if *refPath != "" {
+			diff, err := speclint.Diff(spec, readFAFile(*refPath))
+			die(err)
+			findings = append(findings, diff...)
 		}
 	default:
 		fs.Usage()
@@ -64,6 +76,9 @@ func runLint(args []string) {
 
 	for _, f := range findings {
 		fmt.Println(f)
+		if *witness && f.Witness != "" {
+			fmt.Printf("  witness: %s\n", f.Witness)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Printf("cable lint: %d finding(s) in %d spec(s)\n", len(findings), specCount)
@@ -71,4 +86,15 @@ func runLint(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("cable lint: %d spec(s) clean\n", specCount)
+}
+
+// readFAFile loads one automaton from the fa text format, dying on any
+// failure.
+func readFAFile(path string) *fa.FA {
+	f, err := os.Open(path)
+	die(err)
+	m, err := fa.Read(f)
+	die(f.Close())
+	die(err)
+	return m
 }

@@ -11,7 +11,7 @@
 //	tsverify -pattern "X = fopen() fclose(X)" -traces scenarios.txt
 //	tsverify -fa spec.fa -program model.fa [-maxlen 10] [-limit 100]
 //	tsverify -fa spec.fa -progsrc program.prog
-//	tsverify -fa spec.fa -lint [-traces scenarios.txt]
+//	tsverify -fa spec.fa -lint [-traces scenarios.txt] [-ref correct.fa]
 package main
 
 import (
@@ -41,7 +41,8 @@ func main() {
 		outPath    = flag.String("violations", "", "write violating traces here")
 		ranked     = flag.Bool("rank", false, "rank violation classes most-suspicious first (statistical surprise)")
 		explain    = flag.Bool("explain", false, "diagnose each violation: offending event and the events the spec expected")
-		lint       = flag.Bool("lint", false, "structurally lint the specification and exit (no verification)")
+		lint       = flag.Bool("lint", false, "lint the specification and exit (no verification)")
+		refPath    = flag.String("ref", "", "lint mode: diff the spec against this reference FA by language")
 		quiet      = flag.Bool("q", false, "print only the summary line")
 		metrics    = flag.Bool("metrics", false, "collect metrics and dump a snapshot to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -65,7 +66,7 @@ func main() {
 		die(err)
 	}
 	if *lint {
-		runLint(spec, *tracesPath)
+		runLint(spec, *tracesPath, *refPath)
 		return
 	}
 
@@ -159,21 +160,31 @@ func main() {
 // runLint checks the specification itself (internal/speclint) instead of
 // checking traces against it: a spec that never flags anything, or whose
 // alphabet has drifted from the traces, makes every verification result
-// vacuously misleading. Exits 1 on findings so CI can gate on it.
-func runLint(spec *fa.FA, tracesPath string) {
-	var findings []speclint.Finding
+// vacuously misleading. With a reference FA the spec is also diffed by
+// language, and each disagreement prints its concrete witness trace.
+// Exits 1 on findings so CI can gate on it.
+func runLint(spec *fa.FA, tracesPath, refPath string) {
+	findings := speclint.LintAll(spec)
 	if tracesPath != "" {
 		tf, err := os.Open(tracesPath)
 		die(err)
 		set, err := trace.Read(tf)
 		die(tf.Close())
 		die(err)
-		findings = speclint.LintWithTraces(spec, set.Representatives())
-	} else {
-		findings = speclint.Lint(spec)
+		findings = append(findings, speclint.AlphabetFindings(spec, set.Representatives())...)
+	}
+	if refPath != "" {
+		ref, err := readFA(refPath)
+		die(err)
+		diff, err := speclint.Diff(spec, ref)
+		die(err)
+		findings = append(findings, diff...)
 	}
 	for _, f := range findings {
 		fmt.Println(f)
+		if f.Witness != "" {
+			fmt.Printf("  witness: %s\n", f.Witness)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Printf("tsverify: %d lint finding(s) in %q\n", len(findings), spec.Name())

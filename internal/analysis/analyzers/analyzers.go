@@ -1,10 +1,10 @@
-// Package analyzers holds the cablevet invariant suite: six
-// project-specific checkers that enforce the conventions PRs 1–6
-// introduced and no compiler pass verifies — span hygiene (obsspan),
-// sync.Pool scratch discipline (poolescape), context plumbing
-// (ctxpropagate), scanner error wrapping (errwrapline), blocking
-// calls under the per-session lock (lockheld), and arena ownership for
-// lattice bitsets (poolarena). See DESIGN.md's "Static analysis"
+// Package analyzers holds the cablevet invariant suite: seven
+// project-specific checkers that enforce conventions no compiler pass
+// verifies — span hygiene (obsspan), sync.Pool scratch discipline
+// (poolescape), context plumbing (ctxpropagate), scanner error wrapping
+// (errwrapline), blocking calls under the per-session lock (lockheld),
+// arena ownership for lattice bitsets (poolarena), and the uniform HTTP
+// error envelope (errenvelope). See DESIGN.md's "Static analysis"
 // section for the catalogue and the suppression syntax.
 package analyzers
 
@@ -18,7 +18,7 @@ import (
 
 // All returns the full cablevet analyzer suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ObsSpan, PoolEscape, CtxPropagate, ErrWrapLine, LockHeld, PoolArena}
+	return []*analysis.Analyzer{ObsSpan, PoolEscape, CtxPropagate, ErrWrapLine, LockHeld, PoolArena, ErrEnvelope}
 }
 
 // ByName resolves one analyzer, for the -run flag of cmd/cablevet.

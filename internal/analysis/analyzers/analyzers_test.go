@@ -32,8 +32,12 @@ func TestPoolArenaGolden(t *testing.T) {
 	analysistest.Run(t, "testdata/poolarena", analyzers.PoolArena)
 }
 
+func TestErrEnvelopeGolden(t *testing.T) {
+	analysistest.Run(t, "testdata/errenvelope", analyzers.ErrEnvelope)
+}
+
 func TestAllIsStable(t *testing.T) {
-	want := []string{"obsspan", "poolescape", "ctxpropagate", "errwrapline", "lockheld", "poolarena"}
+	want := []string{"obsspan", "poolescape", "ctxpropagate", "errwrapline", "lockheld", "poolarena", "errenvelope"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

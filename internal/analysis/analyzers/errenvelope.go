@@ -1,0 +1,80 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+)
+
+// apiv1PkgPath is the wire-format package whose Error type is the one
+// sanctioned failure envelope.
+const apiv1PkgPath = "repro/internal/server/apiv1"
+
+// ErrEnvelope enforces the uniform error envelope on HTTP failure paths
+// (internal/server): every non-2xx response body is exactly one
+// apiv1.Error, written through the server's writeError/classify pipeline.
+// Two rules:
+//
+//  1. net/http.Error is never called — it writes text/plain, bypassing
+//     the envelope (and the Content-Type header clients switch on).
+//  2. writeJSON with a constant status ≥ 400 must send an apiv1.Error
+//     payload, not an ad-hoc map or struct: a hand-rolled
+//     {"error": ...} body silently forks the v1 contract the goldens
+//     under apiv1/testdata pin.
+//
+// Error-status writeJSON calls with a non-constant status are not
+// flagged — those are the writeError helper itself, where classify
+// already guarantees the envelope.
+var ErrEnvelope = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc: "check that HTTP error responses go through the apiv1.Error envelope, " +
+		"not http.Error or ad-hoc writeJSON payloads",
+	Run: runErrEnvelope,
+}
+
+func runErrEnvelope(pass *analysis.Pass) error {
+	for _, fb := range functionBodies(pass) {
+		walkShallow(fb.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrEnvelopeCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrEnvelopeCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	switch funcKey(fn) {
+	case "net/http.Error":
+		pass.Reportf(call.Pos(), "http.Error bypasses the apiv1.Error envelope; classify the error and use writeJSON with an envelope payload")
+	}
+	// The writeJSON convention is matched by name: the helper is
+	// package-private and re-declared per server package, so a path match
+	// would miss test doubles.
+	if fn == nil || fn.Name() != "writeJSON" || len(call.Args) < 3 {
+		return
+	}
+	status, ok := constantInt(pass, call.Args[1])
+	if !ok || status < 400 {
+		return
+	}
+	payload := call.Args[2]
+	if pkg, name := namedType(pass.TypeOf(payload)); pkg == apiv1PkgPath && name == "Error" {
+		return
+	}
+	pass.Reportf(payload.Pos(), "error response (status %d) does not use the apiv1.Error envelope", status)
+}
+
+// constantInt evaluates e as a compile-time integer constant.
+func constantInt(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

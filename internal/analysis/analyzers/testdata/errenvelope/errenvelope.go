@@ -1,0 +1,58 @@
+// Golden package for the errenvelope analyzer: HTTP failure paths use
+// the apiv1.Error envelope, never http.Error or ad-hoc JSON payloads.
+package errenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/server/apiv1"
+)
+
+// writeJSON mirrors the server helper the analyzer matches by name.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// plainTextError bypasses the envelope entirely.
+func plainTextError(w http.ResponseWriter) {
+	http.Error(w, "no such session", http.StatusNotFound) // want `http.Error bypasses the apiv1.Error envelope`
+}
+
+// adHocMap forks the wire contract with a hand-rolled error body.
+func adHocMap(w http.ResponseWriter) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad fa"}) // want `error response \(status 400\) does not use the apiv1.Error envelope`
+}
+
+// adHocStruct is just as wrong with a literal status and a named type.
+type oops struct {
+	Oops string `json:"oops"`
+}
+
+func adHocStruct(w http.ResponseWriter) {
+	writeJSON(w, 500, oops{Oops: "boom"}) // want `error response \(status 500\) does not use the apiv1.Error envelope`
+}
+
+// envelope is the sanctioned failure shape.
+func envelope(w http.ResponseWriter) {
+	writeJSON(w, http.StatusBadRequest, apiv1.Error{Code: "bad_request", Message: "bad fa"})
+}
+
+// success payloads are not error responses, whatever their shape.
+func success(w http.ResponseWriter, v any) {
+	writeJSON(w, http.StatusOK, v)
+}
+
+// dynamicStatus is the writeError helper pattern: the status comes from
+// classify, and the payload is already an envelope by construction.
+func dynamicStatus(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, v)
+}
+
+// suppressed keeps a deliberate plain-text response (health probe for a
+// load balancer that chokes on JSON bodies).
+func suppressed(w http.ResponseWriter) {
+	http.Error(w, "unhealthy", http.StatusServiceUnavailable) //cablevet:ignore errenvelope plain-text health probe
+}

@@ -211,14 +211,22 @@ type LabelLine struct {
 	Key   string `json:"key"`
 }
 
-// LintRequest asks for a structural analysis of a specification FA
-// (internal/speclint), optionally against a trace corpus.
+// LintRequest asks for an analysis of a specification FA
+// (internal/speclint): the structural rules, the semantic rules
+// (redundant transitions, mergeable states), optionally the
+// alphabet-mismatch rule against a trace corpus, and optionally a
+// language diff against a reference automaton.
 type LintRequest struct {
 	// FA is the internal/fa text format of the spec to lint.
 	FA string `json:"fa"`
 	// Traces optionally carries the internal/trace text format; when
 	// present the alphabet-mismatch rule runs in both directions.
 	Traces string `json:"traces,omitempty"`
+	// RefFA optionally carries a reference automaton in the fa text
+	// format; when present the spec is diffed against it by language, and
+	// each direction of disagreement yields a language-diff finding with a
+	// concrete witness trace.
+	RefFA string `json:"ref_fa,omitempty"`
 }
 
 // LintFinding is one speclint diagnostic.
@@ -229,6 +237,11 @@ type LintFinding struct {
 	Rule string `json:"rule"`
 	// Message is the human-readable diagnostic.
 	Message string `json:"message"`
+	// Witness, when set, is the trace key of a concrete counterexample
+	// backing the finding, e.g. a trace the spec accepts but the reference
+	// rejects. Witness traces are re-executed through the simulator before
+	// they are reported.
+	Witness string `json:"witness,omitempty"`
 }
 
 // LintResponse lists the findings; Clean mirrors len(Findings) == 0 so
@@ -262,6 +275,10 @@ type OpenStreamResponse struct {
 	SessionID string `json:"session_id"`
 	// Window is the effective ring capacity after defaulting/clamping.
 	Window int `json:"window"`
+	// Warnings carries non-fatal speclint findings about an explicit Spec:
+	// the stream opens regardless, but a vacuous or ambiguous spec will
+	// verify uselessly, so the diagnostics ride along in the response.
+	Warnings []LintFinding `json:"warnings,omitempty"`
 }
 
 // StreamInfo summarizes one open stream for list/describe calls.

@@ -113,12 +113,18 @@ var goldens = []struct {
 	{"lint_request", LintRequest{
 		FA:     "fa vacuous\nstates 1\nstart 0\naccept 0\nedge 0 0 f()\nend\n",
 		Traces: "trace t0\n  f()\nend\n",
+		RefFA:  "fa ref\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
 	}},
 	{"lint_response", LintResponse{
 		Findings: []LintFinding{{
 			Spec:    "vacuous",
 			Rule:    "vacuous-acceptance",
 			Message: "spec accepts every trace over its alphabet",
+		}, {
+			Spec:    "vacuous",
+			Rule:    "language-diff",
+			Message: `spec accepts a trace the reference "ref" rejects`,
+			Witness: "f(); f()",
 		}},
 		Clean: false,
 	}},
@@ -131,6 +137,11 @@ var goldens = []struct {
 		StreamID:  "deadbeefdeadbeefdeadbeefdeadbeef",
 		SessionID: "f00dfeedf00dfeedf00dfeedf00dfeed",
 		Window:    64,
+		Warnings: []LintFinding{{
+			Spec:    "stdio",
+			Rule:    "mergeable-states",
+			Message: "states s1 and s2 accept the same residual language and can be merged",
+		}},
 	}},
 	{"stream_info", StreamInfo{
 		StreamID:    "deadbeefdeadbeefdeadbeefdeadbeef",

@@ -12,10 +12,12 @@ import (
 	"repro/internal/trace"
 )
 
-// handleLint runs speclint over a posted specification FA, optionally
-// with a trace corpus for alphabet checking. It is stateless — no
-// session is created — so spec authors can vet an automaton before
-// spending a lattice build on it.
+// handleLint runs speclint over a posted specification FA: the
+// structural and semantic rules always, the alphabet-mismatch rule when
+// a trace corpus rides along, and a language diff with concrete witness
+// traces when a reference FA does. It is stateless — no session is
+// created — so spec authors can vet an automaton before spending a
+// lattice build on it.
 func (s *Server) handleLint(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req apiv1.LintRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -25,25 +27,40 @@ func (s *Server) handleLint(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return badRequest(fmt.Errorf("fa: %w", err))
 	}
-	var findings []speclint.Finding
+	findings := speclint.LintAll(spec)
 	if req.Traces != "" {
 		set, err := trace.Read(strings.NewReader(req.Traces))
 		if err != nil {
 			return badRequest(fmt.Errorf("traces: %w", err))
 		}
-		findings = speclint.LintWithTraces(spec, set.Representatives())
-	} else {
-		findings = speclint.Lint(spec)
+		findings = append(findings, speclint.AlphabetFindings(spec, set.Representatives())...)
+	}
+	if req.RefFA != "" {
+		ref, err := fa.Read(strings.NewReader(req.RefFA))
+		if err != nil {
+			return badRequest(fmt.Errorf("ref_fa: %w", err))
+		}
+		diff, err := speclint.Diff(spec, ref)
+		if err != nil {
+			return badRequest(fmt.Errorf("diff: %w", err))
+		}
+		findings = append(findings, diff...)
 	}
 	resp := apiv1.LintResponse{
-		Findings: make([]apiv1.LintFinding, 0, len(findings)),
+		Findings: lintFindings(findings),
 		Clean:    len(findings) == 0,
-	}
-	for _, f := range findings {
-		resp.Findings = append(resp.Findings, apiv1.LintFinding{
-			Spec: f.Spec, Rule: f.Rule, Message: f.Message,
-		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
+}
+
+// lintFindings converts speclint findings into their wire form.
+func lintFindings(findings []speclint.Finding) []apiv1.LintFinding {
+	out := make([]apiv1.LintFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, apiv1.LintFinding{
+			Spec: f.Spec, Rule: f.Rule, Message: f.Message, Witness: f.Witness,
+		})
+	}
+	return out
 }

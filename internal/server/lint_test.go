@@ -67,4 +67,50 @@ func TestLintEndpoint(t *testing.T) {
 	}, nil); status != http.StatusBadRequest {
 		t.Fatalf("malformed traces status = %d, want 400", status)
 	}
+	if status := c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA:    "fa ok\nstates 1\nstart 0\naccept 0\nend\n",
+		RefFA: "bogus\n",
+	}, nil); status != http.StatusBadRequest {
+		t.Fatalf("malformed ref_fa status = %d, want 400", status)
+	}
+}
+
+// With a reference FA, the endpoint diffs languages and each direction of
+// disagreement carries a concrete witness trace.
+func TestLintEndpointDiff(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	// Spec accepts {f}, reference accepts {f, f g}: the spec is too strict
+	// in exactly one direction.
+	var resp apiv1.LintResponse
+	status := c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA:    "fa spec\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+		RefFA: "fa ref\nstates 3\nstart 0\naccept 1\naccept 2\nedge 0 1 f()\nedge 1 2 g()\nend\n",
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("lint status = %d", status)
+	}
+	if resp.Clean || len(resp.Findings) != 1 {
+		t.Fatalf("lint response = %+v, want one language-diff finding", resp)
+	}
+	f := resp.Findings[0]
+	if f.Rule != "language-diff" || f.Message != `spec rejects a trace the reference "ref" accepts` {
+		t.Fatalf("finding = %+v", f)
+	}
+	if f.Witness != "f(); g()" {
+		t.Fatalf("witness = %q, want %q", f.Witness, "f(); g()")
+	}
+
+	// Identical languages: the diff stays silent and the response is clean.
+	resp = apiv1.LintResponse{}
+	status = c.do("POST", "/v1/lint", apiv1.LintRequest{
+		FA:    "fa spec\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+		RefFA: "fa ref\nstates 2\nstart 0\naccept 1\nedge 0 1 f()\nend\n",
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("lint status = %d", status)
+	}
+	if !resp.Clean || len(resp.Findings) != 0 {
+		t.Fatalf("equivalent-spec response = %+v, want clean", resp)
+	}
 }

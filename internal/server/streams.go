@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/fa"
 	"repro/internal/server/apiv1"
+	"repro/internal/speclint"
 	"repro/internal/stream"
 )
 
@@ -59,6 +60,7 @@ func (s *Server) handleOpenStream(ctx context.Context, w http.ResponseWriter, r 
 	sim := res.session.Ref().Sim()
 	specName := res.session.Ref().Name()
 	specText := ""
+	var warnings []apiv1.LintFinding
 	if req.Spec != "" {
 		spec, err := fa.Read(strings.NewReader(req.Spec))
 		if err != nil {
@@ -71,6 +73,10 @@ func (s *Server) handleOpenStream(ctx context.Context, w http.ResponseWriter, r 
 		sim = spec.Sim()
 		specName = spec.Name()
 		specText = canon.String()
+		// A defective spec still opens — maybe the caller wants exactly
+		// that automaton — but a vacuous or ambiguous one verifies
+		// uselessly, so speclint's findings ride along as warnings.
+		warnings = lintFindings(speclint.LintAll(spec))
 	}
 	chk := stream.New(sim, stream.Config{Window: req.Window})
 	se, err := s.store.addStream(req.SessionID, specText, specName, chk)
@@ -89,6 +95,7 @@ func (s *Server) handleOpenStream(ctx context.Context, w http.ResponseWriter, r 
 		StreamID:  se.id,
 		SessionID: req.SessionID,
 		Window:    chk.Window(),
+		Warnings:  warnings,
 	})
 	return nil
 }

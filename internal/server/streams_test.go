@@ -71,6 +71,35 @@ func (c *client) openStream(sid, spec string, window int) apiv1.OpenStreamRespon
 	return resp
 }
 
+// An explicit spec is speclinted at open time: findings come back as
+// non-fatal warnings, and the stream opens regardless. A stream bound to
+// the session's own reference FA is never linted.
+func TestStreamOpenWarnings(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	sid := c.mustCreate(violationFixture(t)).SessionID
+
+	// A vacuous spec (accepts everything over its alphabet) is the classic
+	// useless verifier; the open succeeds but says so.
+	vacuous := "fa allpopen\nstates 1\nstart 0\naccept 0\nedge 0 0 X = popen()\nend\n"
+	opened := c.openStream(sid, vacuous, 8)
+	if len(opened.Warnings) != 1 {
+		t.Fatalf("warnings = %+v, want the vacuous-acceptance finding", opened.Warnings)
+	}
+	w := opened.Warnings[0]
+	if w.Spec != "allpopen" || w.Rule != "vacuous-acceptance" {
+		t.Fatalf("warning = %+v", w)
+	}
+	if code := c.do("GET", "/v1/streams/"+opened.StreamID, nil, nil); code != http.StatusOK {
+		t.Fatalf("warned stream not open: %d", code)
+	}
+
+	// No explicit spec: the session's reference FA is trusted as-is.
+	opened = c.openStream(sid, "", 8)
+	if len(opened.Warnings) != 0 {
+		t.Fatalf("default-spec warnings = %+v, want none", opened.Warnings)
+	}
+}
+
 func TestStreamLifecycle(t *testing.T) {
 	m := obs.New()
 	_, c := newTestServer(t, Config{CacheSize: 4, Metrics: m})
@@ -80,6 +109,9 @@ func TestStreamLifecycle(t *testing.T) {
 	opened := c.openStream(sid, stdioSpec, 8)
 	if opened.Window != 8 || opened.SessionID != sid {
 		t.Fatalf("open = %+v", opened)
+	}
+	if len(opened.Warnings) != 0 {
+		t.Fatalf("clean spec produced warnings: %+v", opened.Warnings)
 	}
 	stid := opened.StreamID
 

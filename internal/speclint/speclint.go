@@ -20,16 +20,24 @@ import (
 	"sort"
 
 	"repro/internal/fa"
+	"repro/internal/fa/lang"
 	"repro/internal/trace"
 )
 
-// Rule names, used in Finding.Rule and in diagnostics filtering.
+// Rule names, used in Finding.Rule and in diagnostics filtering. The
+// first five are the structural v1 rules; the rest are the semantic v2
+// rules built on internal/fa/lang.
 const (
-	RuleUnreachableState = "unreachable-state"
-	RuleDeadTransition   = "dead-transition"
-	RuleAmbiguity        = "ambiguity"
-	RuleVacuous          = "vacuous-acceptance"
-	RuleAlphabetMismatch = "alphabet-mismatch"
+	RuleUnreachableState    = "unreachable-state"
+	RuleDeadTransition      = "dead-transition"
+	RuleAmbiguity           = "ambiguity"
+	RuleVacuous             = "vacuous-acceptance"
+	RuleAlphabetMismatch    = "alphabet-mismatch"
+	RuleRedundantTransition = "redundant-transition"
+	RuleMergeableStates     = "mergeable-states"
+	RuleLanguageDiff        = "language-diff"
+	RuleSubsumedSpec        = "subsumed-spec"
+	RuleDuplicateSpec       = "duplicate-spec"
 )
 
 // Rules lists every rule name in report order.
@@ -40,6 +48,11 @@ func Rules() []string {
 		RuleAmbiguity,
 		RuleVacuous,
 		RuleAlphabetMismatch,
+		RuleRedundantTransition,
+		RuleMergeableStates,
+		RuleLanguageDiff,
+		RuleSubsumedSpec,
+		RuleDuplicateSpec,
 	}
 }
 
@@ -48,6 +61,11 @@ type Finding struct {
 	Spec    string `json:"spec"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	// Witness, when set, is the trace key of a concrete counterexample
+	// backing the finding — e.g. a trace the spec accepts but its
+	// reference rejects. Witness traces are re-executed through fa.Sim
+	// before they are reported (internal/fa/lang enforces this).
+	Witness string `json:"witness,omitempty"`
 }
 
 // String renders the finding as "spec: rule: message".
@@ -60,8 +78,8 @@ func (f Finding) String() string {
 // by state and transition index, so reports are deterministic.
 func Lint(f *fa.FA) []Finding {
 	var out []Finding
-	reach := reachable(f)
-	coreach := coreachable(f)
+	reach := lang.Reachable(f)
+	coreach := lang.Coreachable(f)
 
 	for s := 0; s < f.NumStates(); s++ {
 		if !reach[s] {
@@ -101,8 +119,14 @@ func Lint(f *fa.FA) []Finding {
 // spells out but no trace ever performs (dead vocabulary, often a typo
 // in the spec).
 func LintWithTraces(f *fa.FA, traces []trace.Trace) []Finding {
-	out := Lint(f)
+	return append(Lint(f), AlphabetFindings(f, traces)...)
+}
 
+// AlphabetFindings runs just the alphabet-mismatch rule, so callers that
+// already ran the automaton-only rules (LintAll) can add the corpus
+// checks without duplicating findings.
+func AlphabetFindings(f *fa.FA, traces []trace.Trace) []Finding {
+	var out []Finding
 	inTraces := map[string]bool{}
 	for _, t := range traces {
 		for _, e := range t.Events {
@@ -145,60 +169,6 @@ func LintWithTraces(f *fa.FA, traces []trace.Trace) []Finding {
 		}
 	}
 	return out
-}
-
-// reachable marks states reachable from a start state.
-func reachable(f *fa.FA) []bool {
-	seen := make([]bool, f.NumStates())
-	var queue []int
-	for _, s := range f.StartStates() {
-		if !seen[int(s)] {
-			seen[int(s)] = true
-			queue = append(queue, int(s))
-		}
-	}
-	fwd := make([][]int, f.NumStates())
-	for _, t := range f.Transitions() {
-		fwd[int(t.From)] = append(fwd[int(t.From)], int(t.To))
-	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		for _, n := range fwd[s] {
-			if !seen[n] {
-				seen[n] = true
-				queue = append(queue, n)
-			}
-		}
-	}
-	return seen
-}
-
-// coreachable marks states from which some accepting state is reachable.
-func coreachable(f *fa.FA) []bool {
-	seen := make([]bool, f.NumStates())
-	var queue []int
-	for _, s := range f.AcceptStates() {
-		if !seen[int(s)] {
-			seen[int(s)] = true
-			queue = append(queue, int(s))
-		}
-	}
-	rev := make([][]int, f.NumStates())
-	for _, t := range f.Transitions() {
-		rev[int(t.To)] = append(rev[int(t.To)], int(t.From))
-	}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		for _, n := range rev[s] {
-			if !seen[n] {
-				seen[n] = true
-				queue = append(queue, n)
-			}
-		}
-	}
-	return seen
 }
 
 // ambiguity reports, per state and label, how many transitions match one
@@ -245,24 +215,14 @@ func ambiguity(f *fa.FA) []Finding {
 }
 
 // vacuous reports whether the automaton accepts every trace over its own
-// alphabet: expand wildcards, determinize, complete, and check that no
-// reachable state rejects. An automaton the pipeline cannot normalize is
-// never reported vacuous.
+// alphabet: compile to a complete DFA (wildcards expand over the
+// alphabet) and ask whether the complement's language is empty. An
+// automaton the engine cannot compile is never reported vacuous.
 func vacuous(f *fa.FA) bool {
-	alphabet := f.Alphabet()
-	det, err := f.ExpandWildcards(alphabet).Determinize()
+	d, err := lang.Compile(f, f.Alphabet())
 	if err != nil {
 		return false
 	}
-	complete, err := det.Complete(alphabet)
-	if err != nil {
-		return false
-	}
-	reach := reachable(complete)
-	for s := 0; s < complete.NumStates(); s++ {
-		if reach[s] && !complete.IsAccept(fa.State(s)) {
-			return false
-		}
-	}
-	return true
+	_, rejectsSomething := d.Complement().Witness()
+	return !rejectsSomething
 }

@@ -138,6 +138,8 @@ func TestRulesStable(t *testing.T) {
 	want := []string{
 		RuleUnreachableState, RuleDeadTransition, RuleAmbiguity,
 		RuleVacuous, RuleAlphabetMismatch,
+		RuleRedundantTransition, RuleMergeableStates,
+		RuleLanguageDiff, RuleSubsumedSpec, RuleDuplicateSpec,
 	}
 	got := Rules()
 	if len(got) != len(want) {

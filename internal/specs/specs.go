@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/fa"
+	"repro/internal/fa/lang"
 	"repro/internal/xtrace"
 )
 
@@ -41,6 +42,12 @@ type Spec struct {
 	Model xtrace.Model
 	// FA is the correct (debugged) specification automaton.
 	FA *fa.FA
+	// Buggy is the seeded buggy variant of FA: the same good templates
+	// plus one of the model's error modes, so its language strictly
+	// contains the correct one and the speclint differ always has a
+	// concrete separating witness to extract. It plays the role of the
+	// pre-debugging specification the paper starts each session from.
+	Buggy *fa.FA
 }
 
 // DeriveFA builds the correct specification FA from the model's good
@@ -94,6 +101,38 @@ func deriveFA(name string, m xtrace.Model, include func(xtrace.Scenario) bool) (
 	return min.WithName(name), nil
 }
 
+// BuggyFA derives the seeded buggy specification: the good templates plus
+// the first error-mode scenario whose behaviours the correct FA rejects.
+// The result's language strictly contains the correct one — lang.Includes
+// verifies the strictness, so a separating witness is guaranteed to
+// exist.
+func BuggyFA(name string, m xtrace.Model) (*fa.FA, error) {
+	correct, err := DeriveFA(name, m)
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range m.Scenarios {
+		if sc.Good {
+			continue
+		}
+		bad := sc.Name
+		buggy, err := deriveFA(name+"-buggy", m, func(s xtrace.Scenario) bool {
+			return s.Good || s.Name == bad
+		})
+		if err != nil {
+			return nil, err
+		}
+		inc, _, err := lang.Includes(buggy, correct)
+		if err != nil {
+			return nil, err
+		}
+		if !inc {
+			return buggy, nil
+		}
+	}
+	return nil, fmt.Errorf("specs: %s: no error-mode scenario escapes the correct language", name)
+}
+
 // mustSpec validates the model and derives the FA, panicking on authoring
 // mistakes; the corpus is static data, so failures are programmer errors.
 func mustSpec(name, description string, m xtrace.Model) Spec {
@@ -104,7 +143,11 @@ func mustSpec(name, description string, m xtrace.Model) Spec {
 	if err != nil {
 		panic(fmt.Sprintf("specs: %s: %v", name, err))
 	}
-	return Spec{Name: name, Description: description, Model: m, FA: f}
+	buggy, err := BuggyFA(name, m)
+	if err != nil {
+		panic(err.Error())
+	}
+	return Spec{Name: name, Description: description, Model: m, FA: f, Buggy: buggy}
 }
 
 // Stdio returns the Section 2 example: the stdio file-pointer protocol

@@ -17,7 +17,8 @@ TMP_BIG="$(mktemp)"
 TMP_INCR="$(mktemp)"
 TMP_STREAM="$(mktemp)"
 TMP_PAR="$(mktemp)"
-trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR" "$TMP_STREAM" "$TMP_PAR"' EXIT
+TMP_SPECLINT="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP_FA" "$TMP_BIG" "$TMP_INCR" "$TMP_STREAM" "$TMP_PAR" "$TMP_SPECLINT"' EXIT
 
 # to_json converts `go test -bench` output on stdin to a {name: {ns_per_op,
 # allocs_per_op}} JSON object.
@@ -115,6 +116,16 @@ GOMAXPROCS="$PAR_PROCS" go test -run '^$' -bench 'BenchmarkParallel|BenchmarkSor
 to_json < "$TMP_PAR" > BENCH_parallel.json
 echo "wrote BENCH_parallel.json"
 
+# The semantic-analysis engine (internal/fa/lang): subset-construction
+# determinization, Hopcroft minimization, and the witness-producing
+# inclusion check, on the X11-scale corpus union and the bigger
+# program-model union.
+go test -run '^$' -bench 'BenchmarkLangDeterminize|BenchmarkLangMinimize|BenchmarkLangInclusion' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/fa/lang | tee -a "$TMP_SPECLINT"
+
+to_json < "$TMP_SPECLINT" > BENCH_speclint.json
+echo "wrote BENCH_speclint.json"
+
 # One merged file keyed by suite, so trend tooling reads a single
 # artifact instead of stitching the per-suite files.
 {
@@ -136,6 +147,9 @@ echo "wrote BENCH_parallel.json"
     echo '  ,'
     echo '  "parallel":'
     sed 's/^/    /' BENCH_parallel.json
+    echo '  ,'
+    echo '  "speclint":'
+    sed 's/^/    /' BENCH_speclint.json
     echo '}'
 } > BENCH_summary.json
 echo "wrote BENCH_summary.json"
